@@ -1,0 +1,66 @@
+//! Criterion bench for control-plane convergence: LDP fixpoint over growing
+//! rings, IGP SPF, and BGP/VPN route distribution — the costs behind
+//! experiments T1 and M1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mplsvpn_core::membership::site_prefix;
+use netsim_mpls::ldp::{Fec, LdpConfig, LdpDomain};
+use netsim_routing::{
+    BgpVpnFabric, DistributionMode, Igp, LinkAttrs, RouteDistinguisher, RouteTarget, Topology,
+};
+use std::hint::black_box;
+
+fn ring(n: usize) -> Topology {
+    Topology::ring(n, LinkAttrs { cost: 1, capacity_bps: 1_000_000_000 })
+}
+
+fn bench_ldp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ldp_convergence");
+    for &n in &[8usize, 32, 128] {
+        let topo = ring(n);
+        let igp = Igp::converge(&topo);
+        let adj = topo.adjacency_lists();
+        let fecs: Vec<(Fec, usize)> = (0..n).map(|i| (Fec(i as u32), i)).collect();
+        g.bench_with_input(BenchmarkId::new("ring_all_fecs", n), &n, |b, _| {
+            b.iter(|| {
+                let nh = |u: usize, v: usize| igp.next_hop(u, v);
+                black_box(LdpDomain::run(&adj, &fecs, &nh, LdpConfig::default()))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_spf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("igp_spf");
+    for &n in &[16usize, 64, 256] {
+        let topo = ring(n);
+        g.bench_with_input(BenchmarkId::new("full_convergence", n), &n, |b, _| {
+            b.iter(|| black_box(Igp::converge(black_box(&topo))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bgp_vpn");
+    for &sites in &[100usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("advertise_sites", sites), &sites, |b, &sites| {
+            b.iter(|| {
+                let mut f = BgpVpnFabric::new(8, DistributionMode::RouteReflector);
+                let rt = RouteTarget(1);
+                let handles: Vec<_> = (0..8)
+                    .map(|pe| f.add_vrf(pe, RouteDistinguisher::new(65000, 1), vec![rt], vec![rt]))
+                    .collect();
+                for i in 0..sites {
+                    f.advertise(handles[i % 8], site_prefix(i));
+                }
+                black_box(f.messages())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(cp_benches, bench_ldp, bench_spf, bench_bgp);
+criterion_main!(cp_benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for experiment F4: longest-prefix-match lookup vs MPLS
+//! label lookup/swap, across FIB sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mplsvpn_bench::experiments::forwarding::build_tables;
+use netsim_net::addr::ip;
+use netsim_net::{Dscp, Layer, MplsLabel, Packet};
+use std::hint::black_box;
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forwarding_decision");
+    for &k in &[1_000usize, 10_000, 100_000] {
+        let (fib, lfib, queries, labels) = build_tables(k, 42);
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("lpm_lookup", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                black_box(fib.lookup(black_box(q)))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("label_lookup", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let l = labels[i % labels.len()];
+                i += 1;
+                black_box(lfib.lookup(black_box(l)))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_swap(c: &mut Criterion) {
+    // The complete per-packet LSR operation including TTL and stack edit.
+    let (_, lfib, _, labels) = build_tables(10_000, 42);
+    let mut g = c.benchmark_group("lsr_packet_op");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lfib_forward_swap", |b| {
+        let base = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::EF, 256);
+        let mut i = 0;
+        b.iter(|| {
+            let mut p = base.clone();
+            p.push_outer(Layer::Mpls(MplsLabel::new(labels[i % labels.len()], 5, 64)));
+            i += 1;
+            black_box(lfib.forward(&mut p));
+            black_box(p);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_full_swap);
+criterion_main!(benches);

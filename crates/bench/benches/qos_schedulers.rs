@@ -1,0 +1,83 @@
+//! Criterion bench for the queueing disciplines: enqueue+dequeue cost per
+//! packet for FIFO, RED, WRED, strict priority, WFQ, DRR, and CBQ.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim_net::addr::ip;
+use netsim_net::{Dscp, Packet};
+use netsim_qos::sched::CbqClassConfig;
+use netsim_qos::{
+    CbqScheduler, ClassOf, DrrScheduler, FifoQueue, PriorityScheduler, QueueDiscipline, RedParams,
+    RedQueue, WfqScheduler, WredQueue,
+};
+use std::hint::black_box;
+
+fn mk_pkt(class: u64) -> Packet {
+    let mut p = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, 472);
+    p.meta.flow = class;
+    p
+}
+
+fn by_flow() -> ClassOf {
+    Box::new(|p: &Packet| p.meta.flow as usize % 4)
+}
+
+fn bench_qdisc(c: &mut Criterion, name: &str, mut q: Box<dyn QueueDiscipline>) {
+    let mut g = c.benchmark_group("qdisc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function(name, |b| {
+        let mut now = 0u64;
+        let mut class = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            class = (class + 1) % 4;
+            let _ = q.enqueue(mk_pkt(class), now);
+            black_box(q.dequeue(now));
+        });
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_qdisc(c, "fifo", Box::new(FifoQueue::new(1 << 20)));
+    bench_qdisc(
+        c,
+        "red",
+        Box::new(RedQueue::new(1 << 20, RedParams::new(64 << 10, 256 << 10), 7, 12_000)),
+    );
+    bench_qdisc(
+        c,
+        "wred3",
+        Box::new(WredQueue::new(1 << 20, WredQueue::af_profiles(1 << 20), by_flow(), 7, 12_000)),
+    );
+    let bands: Vec<Box<dyn QueueDiscipline>> =
+        (0..4).map(|_| Box::new(FifoQueue::new(1 << 18)) as Box<dyn QueueDiscipline>).collect();
+    bench_qdisc(c, "priority4", Box::new(PriorityScheduler::new(bands, by_flow())));
+    bench_qdisc(c, "wfq4", Box::new(WfqScheduler::new(&[1, 2, 4, 8], 1 << 18, by_flow())));
+    bench_qdisc(
+        c,
+        "drr4",
+        Box::new(DrrScheduler::new(&[1500, 3000, 6000, 12000], 1 << 18, by_flow())),
+    );
+    let cbq = CbqScheduler::new(
+        (0..4)
+            .map(|_| CbqClassConfig { rate_bps: 100_000_000, bounded: false, cap_bytes: 1 << 18 })
+            .collect(),
+        by_flow(),
+    );
+    bench_qdisc(c, "cbq4", Box::new(cbq));
+    let tree = netsim_qos::HierCbq::new(
+        vec![
+            netsim_qos::CbqNodeConfig { parent: None, rate_bps: 1_000_000_000, bounded: true, cap_bytes: 0 },
+            netsim_qos::CbqNodeConfig { parent: Some(0), rate_bps: 600_000_000, bounded: true, cap_bytes: 0 },
+            netsim_qos::CbqNodeConfig { parent: Some(1), rate_bps: 200_000_000, bounded: false, cap_bytes: 1 << 18 },
+            netsim_qos::CbqNodeConfig { parent: Some(1), rate_bps: 400_000_000, bounded: false, cap_bytes: 1 << 18 },
+            netsim_qos::CbqNodeConfig { parent: Some(0), rate_bps: 400_000_000, bounded: false, cap_bytes: 1 << 18 },
+            netsim_qos::CbqNodeConfig { parent: Some(0), rate_bps: 100_000_000, bounded: false, cap_bytes: 1 << 18 },
+        ],
+        by_flow(),
+    );
+    bench_qdisc(c, "hier_cbq_tree", Box::new(tree));
+}
+
+criterion_group!(qdisc_benches, benches);
+criterion_main!(qdisc_benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the discrete-event engine: end-to-end simulated
+//! packet throughput of the full VPN data path (host→CE→PE→P→P→PE→CE→sink)
+//! and of a congested DiffServ bottleneck.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mplsvpn_core::network::DsSched;
+use mplsvpn_core::{BackboneBuilder, CoreQos};
+use netsim_net::addr::pfx;
+use netsim_sim::{Sink, SourceConfig, SEC};
+use std::hint::black_box;
+
+fn run_once(qos: CoreQos, packets: u64) -> u64 {
+    let (t, pes) = mplsvpn_bench::topo::dumbbell(100);
+    let mut pn = BackboneBuilder::new(t, pes).core_qos(qos).build();
+    let vpn = pn.new_vpn("acme");
+    let a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), None);
+    let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
+    let sink = pn.attach_sink(b, pfx("10.2.0.0/16"));
+    let cfg = SourceConfig::udp(1, pn.site_addr(a, 1), pn.site_addr(b, 1), 5000, 500);
+    pn.attach_cbr_source(a, cfg, 50_000, Some(packets)); // 20 kpps
+    pn.run_for(10 * SEC);
+    let delivered = pn.net.node_ref::<Sink>(sink).total_packets;
+    assert!(delivered > 0);
+    pn.net.events_processed()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    const PACKETS: u64 = 5_000;
+    g.throughput(Throughput::Elements(PACKETS));
+    g.bench_function("vpn_path_fifo_5k_packets", |b| {
+        b.iter(|| black_box(run_once(CoreQos::BestEffort { cap_bytes: 1 << 20 }, PACKETS)));
+    });
+    g.bench_function("vpn_path_diffserv_5k_packets", |b| {
+        b.iter(|| {
+            black_box(run_once(
+                CoreQos::DiffServ { cap_bytes: 1 << 20, sched: DsSched::Priority },
+                PACKETS,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(sim_benches, bench_sim);
+criterion_main!(sim_benches);

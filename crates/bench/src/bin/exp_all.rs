@@ -1,0 +1,29 @@
+//! Runs every experiment (quick parameters) and prints all tables — the
+//! source of EXPERIMENTS.md's measured columns. Pass --full for the full
+//! parameter set.
+use mplsvpn_bench::experiments as e;
+
+type Section = (&'static str, fn(bool) -> String);
+
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    let sections: Vec<Section> = vec![
+        ("T1", e::scalability::run),
+        ("F1", e::isolation::run),
+        ("F2", e::tunnels::run),
+        ("F3", e::trace::run),
+        ("F4", e::forwarding::run),
+        ("Q1", e::qos::run),
+        ("Q2", e::ipsec_qos::run),
+        ("Q3", e::te::run),
+        ("Q4", e::interprovider::run),
+        ("M1", e::membership::run),
+        ("R1", e::resilience::run),
+        ("A1", e::aqm::run),
+        ("S1", e::intserv::run),
+    ];
+    for (name, f) in sections {
+        println!("######## {name} ########");
+        println!("{}", f(quick));
+    }
+}

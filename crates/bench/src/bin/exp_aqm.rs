@@ -1,0 +1,4 @@
+//! A1: RED vs tail-drop under responsive TCP-like traffic.
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::aqm::run(false));
+}

@@ -1,0 +1,4 @@
+//! F4: label swap vs longest-prefix match (paper Figure 4 / §3).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::forwarding::run(false));
+}

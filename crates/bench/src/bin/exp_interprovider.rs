@@ -1,0 +1,4 @@
+//! Q4: end-to-end SLA across two cooperating MPLS carriers (paper §5).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::interprovider::run(false));
+}

@@ -1,0 +1,4 @@
+//! S1: per-flow RSVP/IntServ state vs per-class DiffServ (paper §2.2).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::intserv::run(false));
+}

@@ -1,0 +1,4 @@
+//! Q2: IPsec erases QoS visibility; MPLS EXP preserves it (paper §2.3/§3).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::ipsec_qos::run(false));
+}

@@ -1,0 +1,4 @@
+//! F1: multi-VPN isolation over one backbone (paper Figure 1).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::isolation::run(false));
+}

@@ -1,0 +1,4 @@
+//! M1: join/leave cost — MPLS/BGP vs overlay (paper §4.1–4.2).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::membership::run(false));
+}

@@ -1,0 +1,4 @@
+//! Q1: DiffServ-over-MPLS vs FIFO on a congested backbone (paper §3.1/§5).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::qos::run(false));
+}

@@ -1,0 +1,4 @@
+//! R1: link failure, detection delay, and reconvergence (paper §3/§5).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::resilience::run(false));
+}

@@ -1,0 +1,4 @@
+//! T1: overlay virtual-circuit explosion vs MPLS VPN state (paper §2.1).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::scalability::run(false));
+}

@@ -1,0 +1,4 @@
+//! Q3: CSPF traffic engineering vs IGP-only routing (paper §5).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::te::run(false));
+}

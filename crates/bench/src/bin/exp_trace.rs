@@ -1,0 +1,4 @@
+//! F3: hop-by-hop trace CE→PE→P→PE→CE (paper Figure 3).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::trace::run(false));
+}

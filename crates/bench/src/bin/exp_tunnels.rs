@@ -1,0 +1,4 @@
+//! F2: LSP tunnel mesh per VPN (paper Figure 2).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::tunnels::run(false));
+}

@@ -1,0 +1,17 @@
+//! One module per paper table/figure. Each exposes `run(quick) -> String`;
+//! the `exp_*` binaries print it, `exp_all` concatenates everything, and
+//! the tests assert the *shape* each experiment must reproduce.
+
+pub mod aqm;
+pub mod forwarding;
+pub mod interprovider;
+pub mod ipsec_qos;
+pub mod intserv;
+pub mod isolation;
+pub mod membership;
+pub mod qos;
+pub mod resilience;
+pub mod scalability;
+pub mod te;
+pub mod trace;
+pub mod tunnels;

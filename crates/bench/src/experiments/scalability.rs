@@ -1,0 +1,157 @@
+//! **T1 — the virtual-circuit explosion** (paper §2.1).
+//!
+//! "A network with N points of service would create N(N−1)/2 virtual
+//! circuits … In a network with 10 service points, this is manageable for
+//! 45 virtual circuits. In a network with 200 service points (a
+//! medium-sized VPN), about 20,000 virtual circuits would be required."
+//!
+//! Both models are *built*, not just counted: the overlay provisions every
+//! PVC hop by hop through a switch fabric; the MPLS/BGP side runs LDP plus
+//! the VPN route fabric. Columns report circuits, state and control cost.
+
+use mplsvpn_core::membership::site_prefix;
+use mplsvpn_core::overlay::OverlayNetwork;
+use netsim_mpls::ldp::{Fec, LdpConfig, LdpDomain};
+use netsim_routing::{BgpVpnFabric, DistributionMode, Igp, RouteDistinguisher, RouteTarget};
+
+use crate::table::Table;
+use crate::{parallel_sweep, topo};
+
+/// Number of switches / PEs in the provider infrastructure.
+const DEVICES: usize = 8;
+
+/// Result of building one VPN of `n` sites in both models.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Sites in the VPN.
+    pub n: usize,
+    /// Overlay: bidirectional circuit pairs (the paper's headline number).
+    pub overlay_circuits: u64,
+    /// Overlay: total switch cross-connect entries.
+    pub overlay_state: usize,
+    /// Overlay: device-touch provisioning operations.
+    pub overlay_ops: u64,
+    /// MPLS: BGP update messages to distribute all site routes.
+    pub mpls_updates: u64,
+    /// MPLS: worst per-PE VRF route count.
+    pub mpls_max_pe_routes: usize,
+    /// MPLS: tunnel LSP labels across the whole backbone (independent of
+    /// the number of sites — it scales with PEs).
+    pub mpls_tunnel_labels: u64,
+    /// MPLS: LDP + BGP sessions.
+    pub mpls_sessions: u64,
+}
+
+/// Builds both models for an `n`-site VPN.
+pub fn measure(n: usize) -> ScalePoint {
+    // --- Overlay: ring of switches, sites round-robin, full mesh.
+    let (ring, _) = topo::national(DEVICES, 0, 622);
+    let mut ov = OverlayNetwork::build(ring, 1_000_000);
+    let sites: Vec<_> = (0..n).map(|i| ov.add_site(i % DEVICES, site_prefix(i))).collect();
+    ov.full_mesh(&sites);
+
+    // --- MPLS/BGP: PEs on a ring, LDP tunnels + VPN route fabric.
+    let (mtopo, pes) = topo::national(DEVICES, DEVICES, 622);
+    let igp = Igp::converge(&mtopo);
+    let adjacency = mtopo.adjacency_lists();
+    let fecs: Vec<(Fec, usize)> =
+        pes.iter().enumerate().map(|(k, &pe)| (Fec(k as u32), pe)).collect();
+    let nh = |u: usize, v: usize| igp.next_hop(u, v);
+    let ldp = LdpDomain::run(&adjacency, &fecs, &nh, LdpConfig::default());
+
+    let mut fabric = BgpVpnFabric::new(DEVICES, DistributionMode::RouteReflector);
+    let rt = RouteTarget(1);
+    let mut handles = Vec::new();
+    for pe in 0..DEVICES {
+        handles.push(fabric.add_vrf(pe, RouteDistinguisher::new(65000, 1), vec![rt], vec![rt]));
+    }
+    for i in 0..n {
+        fabric.advertise(handles[i % DEVICES], site_prefix(i));
+    }
+    let mpls_max_pe_routes =
+        (0..DEVICES).map(|pe| fabric.pe_state(pe).1).max().unwrap_or(0);
+
+    ScalePoint {
+        n,
+        overlay_circuits: ov.circuit_pairs(),
+        overlay_state: ov.total_switch_state(),
+        overlay_ops: ov.provisioning_ops,
+        mpls_updates: fabric.messages(),
+        mpls_max_pe_routes,
+        mpls_tunnel_labels: ldp.total_labels(),
+        mpls_sessions: ldp.sessions + fabric.session_count(),
+    }
+}
+
+/// Runs the sweep and renders the table.
+pub fn run(quick: bool) -> String {
+    let sizes: Vec<usize> = if quick { vec![10, 50, 100] } else { vec![10, 50, 100, 200, 500] };
+    let jobs: Vec<Box<dyn FnOnce() -> ScalePoint + Send>> = sizes
+        .iter()
+        .map(|&n| Box::new(move || measure(n)) as Box<dyn FnOnce() -> ScalePoint + Send>)
+        .collect();
+    let points = parallel_sweep(jobs);
+
+    let mut t = Table::new(
+        "T1: overlay VC explosion vs MPLS VPN state (paper §2.1: 10 sites→45 VCs, 200→~20,000)",
+        &[
+            "sites",
+            "ovl circuits",
+            "ovl state",
+            "ovl prov ops",
+            "mpls updates",
+            "mpls max PE routes",
+            "mpls tun labels",
+            "ovl sessions",
+            "mpls sessions",
+        ],
+    );
+    for p in &points {
+        t.row(&[
+            p.n.to_string(),
+            p.overlay_circuits.to_string(),
+            p.overlay_state.to_string(),
+            p.overlay_ops.to_string(),
+            p.mpls_updates.to_string(),
+            p.mpls_max_pe_routes.to_string(),
+            p.mpls_tunnel_labels.to_string(),
+            (p.n * (p.n - 1) / 2).to_string(),
+            p.mpls_sessions.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_numbers() {
+        let p10 = measure(10);
+        assert_eq!(p10.overlay_circuits, 45, "paper: 10 sites → 45 VCs");
+        let p200 = measure(200);
+        assert_eq!(p200.overlay_circuits, 19_900, "paper: 200 sites → ~20,000 VCs");
+    }
+
+    #[test]
+    fn overlay_grows_quadratically_mpls_linearly() {
+        let p50 = measure(50);
+        let p100 = measure(100);
+        // Circuits ×~4 when sites ×2.
+        let circuit_ratio = p100.overlay_circuits as f64 / p50.overlay_circuits as f64;
+        assert!(circuit_ratio > 3.5, "ratio {circuit_ratio}");
+        // MPLS per-PE routes ×~2 when sites ×2.
+        let route_ratio = p100.mpls_max_pe_routes as f64 / p50.mpls_max_pe_routes as f64;
+        assert!(route_ratio < 2.5, "ratio {route_ratio}");
+        // Tunnel labels don't depend on the number of sites at all.
+        assert_eq!(p50.mpls_tunnel_labels, p100.mpls_tunnel_labels);
+    }
+
+    #[test]
+    fn run_renders_rows() {
+        let s = run(true);
+        assert!(s.contains("45"), "{s}");
+        assert!(s.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,78 @@
+//! **F3 — deployment path CE→PE→P→…→PE→CE** (paper Figure 3).
+//!
+//! One voice packet is followed hop by hop through the full architecture:
+//! CPE classification/marking, two-level label imposition with DSCP→EXP
+//! mapping at the ingress PE, label swapping and the penultimate-hop pop in
+//! the core, VPN-label dispatch at the egress PE, and site delivery.
+
+use mplsvpn_core::{BackboneBuilder, TraceLog};
+use netsim_net::addr::pfx;
+use netsim_qos::MarkingPolicy;
+use netsim_sim::{Sink, SourceConfig, MSEC, SEC};
+
+use crate::table::Table;
+use crate::topo;
+
+/// Runs the scenario and returns (trace log, delivered count).
+pub fn measure() -> (TraceLog, u64) {
+    let (t, pes) = topo::line(2, 1000); // PE0 - P1 - P2 - PE3
+    let log = TraceLog::new();
+    let mut pn = BackboneBuilder::new(t, pes).trace(log.clone()).build();
+    let vpn = pn.new_vpn("acme");
+    let a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), Some(MarkingPolicy::enterprise_default()));
+    let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
+    let sink = pn.attach_sink(b, pfx("10.2.0.0/16"));
+    // A voice packet (UDP to an RTP port → the CPE marks it EF).
+    let cfg = SourceConfig::udp(1, pn.site_addr(a, 10), pn.site_addr(b, 20), 16400, 160);
+    pn.attach_cbr_source(a, cfg, MSEC, Some(1));
+    pn.run_for(SEC);
+    let got = pn.net.node_ref::<Sink>(sink).flow(1).map(|f| f.rx_packets).unwrap_or(0);
+    (log, got)
+}
+
+/// Runs the experiment and renders the hop table.
+pub fn run(_quick: bool) -> String {
+    let (log, got) = measure();
+    let mut t = Table::new(
+        format!("F3: hop-by-hop trace of one voice packet (delivered: {got}/1)"),
+        &["t (us)", "device", "action", "label stack", "EXP", "DSCP"],
+    );
+    for r in log.flow(1) {
+        t.row(&[
+            format!("{:.1}", r.at as f64 / 1e3),
+            r.device.clone(),
+            r.action.clone(),
+            format!("{:?}", r.labels),
+            r.exp.map_or("-".into(), |e| e.to_string()),
+            r.dscp.map_or("-".into(), |d| d.to_string()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_shows_the_figure_3_sequence() {
+        let (log, got) = measure();
+        assert_eq!(got, 1);
+        let recs = log.flow(1);
+        let actions: Vec<&str> = recs.iter().map(|r| r.action.as_str()).collect();
+        // CE marks EF.
+        assert!(actions[0].contains("mark EF"), "{actions:?}");
+        // Ingress PE pushes a two-label stack with EXP 5.
+        assert!(actions[1].contains("push") && actions[1].contains("exp=5"), "{actions:?}");
+        assert_eq!(recs[1].labels.len(), 2, "tunnel + VPN label");
+        // A core swap, then the PHP pop.
+        assert!(actions.iter().any(|a| a.contains("swap")), "{actions:?}");
+        assert!(actions.iter().any(|a| a.contains("php pop")), "{actions:?}");
+        // Egress PE dispatches the VPN label into the right VRF.
+        assert!(actions.iter().any(|a| a.contains("pop vpn")), "{actions:?}");
+        // EXP rode the whole labeled path.
+        assert!(recs.iter().filter_map(|r| r.exp).all(|e| e == 5));
+        // Final delivery happens at the remote CE.
+        assert!(recs.last().unwrap().action.contains("deliver"), "{actions:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # mplsvpn-core — the end-to-end QoS MPLS VPN architecture
+//!
+//! This crate assembles every substrate into the system the paper
+//! describes: an MPLS backbone offering VPN service with end-to-end QoS.
+//!
+//! ## The three §4 functions
+//!
+//! * **Membership discovery** — VPNs are declared as route-target
+//!   communities; adding a site touches exactly one PE
+//!   ([`ProviderNetwork::add_site`]), and route distribution makes every
+//!   other member learn it ([`membership`] quantifies the cost).
+//! * **Reachability exchange** — the BGP/MPLS fabric distributes VPN-IPv4
+//!   routes with piggybacked labels; [`ProviderNetwork`] installs them into
+//!   PE VRF FIBs.
+//! * **Data separation** — customer packets travel with a two-level label
+//!   stack (tunnel label above, VPN label below); P routers never see
+//!   customer addresses, and overlapping address spaces cannot collide.
+//!
+//! ## The §5 QoS pipeline
+//!
+//! CE routers classify and mark (CBQ/DSCP, [`router::CeRouter`]); the
+//! ingress PE maps DSCP into the MPLS EXP bits
+//! ([`netsim_qos::ExpMap`]); core links schedule on EXP (priority + WRED);
+//! TE trunks steer traffic away from congestion ([`netsim_te`]).
+//!
+//! ## Baselines
+//!
+//! [`overlay`] implements the §2.1 strawman (one PVC per site pair) and
+//! [`ipsec_vpn`] the §2.3/§3 one (IPsec gateways over a plain IP
+//! backbone), both runnable on the same simulator for head-to-head
+//! comparison. [`interprovider`] stitches two MPLS domains at ASBRs to
+//! reproduce the cross-provider SLA claim.
+
+#![warn(missing_docs)]
+
+pub mod interprovider;
+pub mod ipsec_vpn;
+pub mod membership;
+pub mod network;
+pub mod overlay;
+pub mod router;
+pub mod sla;
+pub mod trace;
+
+pub use network::{BackboneBuilder, CoreQos, ProviderNetwork, SiteId, VpnId};
+pub use router::{CeRouter, CoreRouter, PeRouter};
+pub use sla::{voice_mos, Sla, SlaReport};
+pub use trace::{HopRecord, TraceLog};

@@ -1,0 +1,146 @@
+//! Membership dynamics: what it costs to add the N-th site (experiment M1).
+//!
+//! The paper's §4.1: "Members can join and leave the VPN service network
+//! and those changes need to be known by all remaining members." In the
+//! MPLS/BGP model a join touches one PE and costs one route update's
+//! fan-out; in the overlay model it costs N−1 new circuit pairs, each
+//! provisioned hop by hop.
+
+use netsim_net::{Ip, Prefix};
+use netsim_routing::{BgpVpnFabric, DistributionMode, RouteDistinguisher, RouteTarget, Topology};
+
+use crate::overlay::{OverlayNetwork, OverlaySiteId};
+
+/// Cost of one site join.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinCost {
+    /// Which join this was (0-based; cost typically grows with it in the
+    /// overlay model and stays flat in the MPLS model).
+    pub site_index: usize,
+    /// Devices whose configuration/tables had to be touched.
+    pub devices_touched: u64,
+    /// Control messages exchanged to restore full reachability.
+    pub control_messages: u64,
+    /// New circuits provisioned (overlay only).
+    pub new_circuits: u64,
+}
+
+/// The /24 block assigned to the i-th synthetic site.
+pub fn site_prefix(i: usize) -> Prefix {
+    Prefix::new(Ip(0x0A00_0000 | ((i as u32) << 8)), 24)
+}
+
+/// Joins `n_sites` sites (round-robin over `pe_count` PEs) to one VPN via
+/// the BGP/MPLS control plane and records per-join costs.
+pub fn mpls_join_series(pe_count: usize, n_sites: usize, mode: DistributionMode) -> Vec<JoinCost> {
+    let rt = RouteTarget(1);
+    let rd = RouteDistinguisher::new(65000, 1);
+    let mut fabric = BgpVpnFabric::new(pe_count, mode);
+    let mut handles = vec![None; pe_count];
+    let mut costs = Vec::with_capacity(n_sites);
+    for i in 0..n_sites {
+        let pe = i % pe_count;
+        let before = fabric.messages();
+        let handle = match handles[pe] {
+            Some(h) => h,
+            None => {
+                let h = fabric.add_vrf(pe, rd, vec![rt], vec![rt]);
+                // A brand-new VRF pulls the existing routes from the RR.
+                fabric.refresh_vrf(h);
+                handles[pe] = Some(h);
+                h
+            }
+        };
+        fabric.advertise(handle, site_prefix(i));
+        costs.push(JoinCost {
+            site_index: i,
+            // The join reconfigures exactly one device: the homing PE.
+            devices_touched: 1,
+            control_messages: fabric.messages() - before,
+            new_circuits: 0,
+        });
+    }
+    costs
+}
+
+/// Joins `attachments.len()` sites to an overlay VPN (site `i` homed on
+/// switch `attachments[i]`), full-meshing each new site with all existing
+/// ones, and records per-join costs.
+pub fn overlay_join_series(topo: &Topology, attachments: &[usize]) -> Vec<JoinCost> {
+    let mut ov = OverlayNetwork::build(topo.clone(), 1_000_000);
+    let mut sites: Vec<OverlaySiteId> = Vec::new();
+    let mut costs = Vec::with_capacity(attachments.len());
+    for (i, &sw) in attachments.iter().enumerate() {
+        let s = ov.add_site(sw, site_prefix(i));
+        let ops_before = ov.provisioning_ops;
+        let vcs_before = ov.vcs_provisioned;
+        for &existing in &sites {
+            ov.connect_sites(s, existing);
+        }
+        sites.push(s);
+        costs.push(JoinCost {
+            site_index: i,
+            devices_touched: ov.provisioning_ops - ops_before,
+            // Overlay "control messages" are the provisioning touches —
+            // there is no routing protocol to do the work.
+            control_messages: ov.provisioning_ops - ops_before,
+            new_circuits: ov.vcs_provisioned - vcs_before,
+        });
+    }
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_routing::LinkAttrs;
+
+    #[test]
+    fn mpls_join_cost_is_flat() {
+        let costs = mpls_join_series(4, 16, DistributionMode::RouteReflector);
+        assert_eq!(costs.len(), 16);
+        // Every join touches one device and costs one update fan-out (plus
+        // at most a VRF refresh).
+        assert!(costs.iter().all(|c| c.devices_touched == 1));
+        let late = costs[15].control_messages;
+        let early = costs[1].control_messages;
+        assert!(
+            late <= early + 16,
+            "join cost must not grow linearly: early={early} late={late}"
+        );
+        assert!(costs.iter().all(|c| c.new_circuits == 0));
+    }
+
+    #[test]
+    fn overlay_join_cost_grows_linearly() {
+        let topo = Topology::ring(6, LinkAttrs { cost: 1, capacity_bps: 1_000_000_000 });
+        let attachments: Vec<usize> = (0..12).map(|i| i % 6).collect();
+        let costs = overlay_join_series(&topo, &attachments);
+        // The k-th join provisions 2k unidirectional circuits.
+        for (k, c) in costs.iter().enumerate() {
+            assert_eq!(c.new_circuits, 2 * k as u64, "join {k}");
+        }
+        assert!(costs[11].devices_touched > costs[1].devices_touched * 5);
+    }
+
+    #[test]
+    fn total_overlay_circuits_match_formula() {
+        let topo = Topology::ring(4, LinkAttrs { cost: 1, capacity_bps: 1_000_000_000 });
+        let attachments: Vec<usize> = (0..10).map(|i| i % 4).collect();
+        let costs = overlay_join_series(&topo, &attachments);
+        let total: u64 = costs.iter().map(|c| c.new_circuits).sum();
+        // N(N-1)/2 pairs, ×2 directions.
+        assert_eq!(total, 10 * 9);
+    }
+
+    #[test]
+    fn site_prefixes_are_disjoint() {
+        for i in 0..100 {
+            for j in 0..100 {
+                if i != j {
+                    assert!(!site_prefix(i).overlaps(site_prefix(j)), "{i} vs {j}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,781 @@
+//! The three router roles of the RFC 2547 / paper architecture.
+//!
+//! * [`CoreRouter`] — a P router / LSR: pure label swapping in the
+//!   backbone, plus a plain IP FIB so the same device can serve the
+//!   unlabeled baselines. It never sees customer addresses.
+//! * [`PeRouter`] — the provider edge: VRFs, two-level label imposition at
+//!   the ingress, VPN-label dispatch at the egress, and the DSCP→EXP QoS
+//!   mapping (paper §5).
+//! * [`CeRouter`] — the customer edge / CPE: classifies and marks traffic
+//!   (the CBQ + DiffServ role) and forwards between the site LAN and the
+//!   PE uplink.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use netsim_mpls::lfib::{LfibVerdict, LOCAL_IFACE};
+use netsim_mpls::{FtnEntry, Lfib};
+use netsim_net::{Dscp, Ip, Layer, LpmTrie, MplsLabel, Packet, Prefix};
+use netsim_qos::{Color, ExpMap, MarkingPolicy, SrTcm};
+use netsim_sim::{Ctx, IfaceId, Node};
+
+use crate::trace::TraceLog;
+
+/// Forwarding counters shared by all router roles.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouterCounters {
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Label operations performed (push/swap/pop, counted per packet).
+    pub label_ops: u64,
+    /// Longest-prefix-match lookups performed.
+    pub lpm_lookups: u64,
+    /// Packets dropped: no route / no label entry.
+    pub dropped_no_route: u64,
+    /// Packets dropped: TTL expired.
+    pub dropped_ttl: u64,
+    /// Packets dropped by the edge policer.
+    pub dropped_policer: u64,
+    /// Packets that arrived addressed to this device (absorbed).
+    pub delivered_local: u64,
+}
+
+// ---------------------------------------------------------------------------
+// P router
+// ---------------------------------------------------------------------------
+
+/// A provider core router (LSR). Interfaces are numbered exactly like the
+/// backbone topology's adjacency list for this node.
+pub struct CoreRouter {
+    /// Device name for traces.
+    pub name: String,
+    /// The label-switching table.
+    pub lfib: Lfib,
+    /// Plain IP FIB: prefix → egress interface (used by the unlabeled
+    /// baselines; empty in pure-MPLS operation).
+    pub fib: LpmTrie<usize>,
+    /// Forwarding counters.
+    pub counters: RouterCounters,
+    /// Optional hop trace.
+    pub trace: Option<TraceLog>,
+}
+
+impl CoreRouter {
+    /// Creates a P router with an empty FIB.
+    pub fn new(name: impl Into<String>, lfib: Lfib) -> Self {
+        CoreRouter { name: name.into(), lfib, fib: LpmTrie::new(), counters: RouterCounters::default(), trace: None }
+    }
+
+    /// Attaches a trace log.
+    pub fn with_trace(mut self, t: TraceLog) -> Self {
+        self.trace = Some(t);
+        self
+    }
+
+    fn forward_ip(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
+        self.counters.lpm_lookups += 1;
+        let Some(hdr) = pkt.outer_ipv4_mut() else {
+            self.counters.dropped_no_route += 1;
+            return;
+        };
+        if !hdr.decrement_ttl() {
+            self.counters.dropped_ttl += 1;
+            return;
+        }
+        let dst = hdr.dst;
+        let Some(&out) = self.fib.lookup(dst) else {
+            self.counters.dropped_no_route += 1;
+            return;
+        };
+        self.counters.forwarded += 1;
+        if let Some(t) = &self.trace {
+            t.record(ctx.now(), &self.name, format!("ip route → if{out}"), &pkt);
+        }
+        ctx.send(IfaceId(out), pkt);
+    }
+}
+
+impl Node for CoreRouter {
+    fn on_packet(&mut self, _iface: IfaceId, mut pkt: Packet, ctx: &mut Ctx) {
+        if pkt.top_label().is_none() {
+            return self.forward_ip(pkt, ctx);
+        }
+        let before = pkt.top_label().expect("labeled").label;
+        let depth_before = pkt.label_depth();
+        self.counters.label_ops += 1;
+        match self.lfib.forward(&mut pkt) {
+            LfibVerdict::Forward { out_iface } => {
+                self.counters.forwarded += 1;
+                if let Some(t) = &self.trace {
+                    let action = match pkt.top_label() {
+                        Some(l) if pkt.label_depth() < depth_before => {
+                            format!("php pop {before} (exposing {})", l.label)
+                        }
+                        Some(l) if l.label != before => format!("swap {before}→{}", l.label),
+                        Some(l) => format!("forward {}", l.label),
+                        None => format!("php pop {before}"),
+                    };
+                    t.record(ctx.now(), &self.name, action, &pkt);
+                }
+                ctx.send(IfaceId(out_iface), pkt);
+            }
+            LfibVerdict::PoppedToLocal => self.counters.delivered_local += 1,
+            LfibVerdict::TtlExpired => self.counters.dropped_ttl += 1,
+            LfibVerdict::NoEntry | LfibVerdict::NotLabeled => self.counters.dropped_no_route += 1,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PE router
+// ---------------------------------------------------------------------------
+
+/// A route in a VRF FIB.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VrfRoute {
+    /// The destination is a site attached to this same PE.
+    Local {
+        /// Customer-facing interface of that site.
+        out_iface: usize,
+    },
+    /// The destination is behind a remote PE: push the VPN label, then the
+    /// tunnel labels of `tunnel`.
+    Remote {
+        /// Egress PE ordinal (for bookkeeping).
+        egress_pe: usize,
+        /// VPN label advertised by the egress PE.
+        vpn_label: u32,
+        /// Tunnel FTN toward the egress PE (from LDP or TE).
+        tunnel: FtnEntry,
+    },
+}
+
+/// One VRF's data-plane state on a PE.
+#[derive(Debug, Default)]
+pub struct VrfFib {
+    /// VRF display name.
+    pub name: String,
+    /// Per-VRF forwarding table.
+    pub fib: LpmTrie<VrfRoute>,
+}
+
+/// What a PE interface is attached to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeIfaceRole {
+    /// Backbone-facing.
+    Core,
+    /// A customer site in VRF `vrf`.
+    Customer {
+        /// Index into the PE's VRF table.
+        vrf: usize,
+    },
+}
+
+/// The provider edge router.
+pub struct PeRouter {
+    /// Device name for traces.
+    pub name: String,
+    /// Transit LFIB (the PE is also an LSR for through traffic).
+    pub lfib: Lfib,
+    /// VPN label dispatch: incoming VPN label → VRF index.
+    pub vpn_ilm: HashMap<u32, usize>,
+    /// VRF tables.
+    pub vrfs: Vec<VrfFib>,
+    /// Role of each interface, indexed by [`IfaceId`].
+    pub iface_roles: Vec<PeIfaceRole>,
+    /// DSCP ↔ EXP mapping applied at label imposition.
+    pub exp_map: ExpMap,
+    /// Optional per-customer-interface policer (srTCM): green passes,
+    /// yellow is demoted one AF drop precedence, red is dropped.
+    pub policers: HashMap<usize, SrTcm>,
+    /// Forwarding counters.
+    pub counters: RouterCounters,
+    /// Optional hop trace.
+    pub trace: Option<TraceLog>,
+}
+
+impl PeRouter {
+    /// Creates a PE with `core_ifaces` backbone interfaces (numbered 0..n,
+    /// matching the backbone adjacency order) and no customers yet.
+    pub fn new(name: impl Into<String>, lfib: Lfib, core_ifaces: usize) -> Self {
+        PeRouter {
+            name: name.into(),
+            lfib,
+            vpn_ilm: HashMap::new(),
+            vrfs: Vec::new(),
+            iface_roles: vec![PeIfaceRole::Core; core_ifaces],
+            exp_map: ExpMap::default(),
+            policers: HashMap::new(),
+            counters: RouterCounters::default(),
+            trace: None,
+        }
+    }
+
+    /// Attaches a trace log.
+    pub fn with_trace(mut self, t: TraceLog) -> Self {
+        self.trace = Some(t);
+        self
+    }
+
+    /// Adds a VRF, returning its index.
+    pub fn add_vrf(&mut self, name: impl Into<String>) -> usize {
+        self.vrfs.push(VrfFib { name: name.into(), fib: LpmTrie::new() });
+        self.vrfs.len() - 1
+    }
+
+    /// Declares the next interface (in attachment order) as a customer
+    /// port in `vrf`. Must be called in the same order the simulator
+    /// connects the access links.
+    pub fn attach_customer_iface(&mut self, vrf: usize) -> usize {
+        assert!(vrf < self.vrfs.len(), "unknown vrf {vrf}");
+        self.iface_roles.push(PeIfaceRole::Customer { vrf });
+        self.iface_roles.len() - 1
+    }
+
+    /// Installs an edge policer on customer interface `iface`.
+    pub fn set_policer(&mut self, iface: usize, meter: SrTcm) {
+        assert!(matches!(self.iface_roles.get(iface), Some(PeIfaceRole::Customer { .. })));
+        self.policers.insert(iface, meter);
+    }
+
+    /// Installs a local route: `prefix` is reachable via customer
+    /// interface `out_iface` in `vrf`.
+    pub fn install_local_route(&mut self, vrf: usize, prefix: Prefix, out_iface: usize) {
+        self.vrfs[vrf].fib.insert(prefix, VrfRoute::Local { out_iface });
+    }
+
+    /// Installs a remote route learned from the BGP/MPLS fabric. A locally
+    /// attached route for the same prefix always wins (standard preference
+    /// for locally originated paths — this is what keeps a dual-homed
+    /// site's traffic local at each of its homes).
+    pub fn install_remote_route(
+        &mut self,
+        vrf: usize,
+        prefix: Prefix,
+        egress_pe: usize,
+        vpn_label: u32,
+        tunnel: FtnEntry,
+    ) {
+        if matches!(self.vrfs[vrf].fib.get(prefix), Some(VrfRoute::Local { .. })) {
+            return;
+        }
+        self.vrfs[vrf].fib.insert(prefix, VrfRoute::Remote { egress_pe, vpn_label, tunnel });
+    }
+
+    /// Registers an incoming VPN label as belonging to `vrf`.
+    pub fn install_vpn_label(&mut self, label: u32, vrf: usize) {
+        self.vpn_ilm.insert(label, vrf);
+    }
+
+    /// Total VRF routes installed (state metric).
+    pub fn total_routes(&self) -> usize {
+        self.vrfs.iter().map(|v| v.fib.len()).sum()
+    }
+
+    fn police(&mut self, iface: usize, pkt: &mut Packet, now: u64) -> bool {
+        let Some(meter) = self.policers.get_mut(&iface) else {
+            return true;
+        };
+        match meter.meter(pkt.wire_len(), now) {
+            Color::Green => true,
+            Color::Yellow => {
+                // Demote AF drop precedence; EF/BE are left alone (EF
+                // out-of-profile would be dropped by a strict contract, but
+                // the default here is lenient).
+                if let Some(hdr) = pkt.outer_ipv4_mut() {
+                    if let (Some(c), Some(dp)) = (hdr.dscp.af_class(), hdr.dscp.af_drop_precedence()) {
+                        hdr.dscp = Dscp::af(c, (dp + 1).min(3));
+                    }
+                }
+                true
+            }
+            Color::Red => false,
+        }
+    }
+
+    fn handle_customer(&mut self, in_iface: usize, vrf: usize, mut pkt: Packet, ctx: &mut Ctx) {
+        if !self.police(in_iface, &mut pkt, ctx.now()) {
+            self.counters.dropped_policer += 1;
+            return;
+        }
+        let Some(hdr) = pkt.outer_ipv4_mut() else {
+            self.counters.dropped_no_route += 1;
+            return;
+        };
+        if !hdr.decrement_ttl() {
+            self.counters.dropped_ttl += 1;
+            return;
+        }
+        let (dst, dscp, ttl) = (hdr.dst, hdr.dscp, hdr.ttl);
+        self.counters.lpm_lookups += 1;
+        let route = match self.vrfs[vrf].fib.lookup(dst) {
+            Some(r) => r.clone(),
+            None => {
+                self.counters.dropped_no_route += 1;
+                return;
+            }
+        };
+        match route {
+            VrfRoute::Local { out_iface } => {
+                self.counters.forwarded += 1;
+                if let Some(t) = &self.trace {
+                    t.record(ctx.now(), &self.name, format!("vrf{vrf} local → if{out_iface}"), &pkt);
+                }
+                ctx.send(IfaceId(out_iface), pkt);
+            }
+            VrfRoute::Remote { vpn_label, tunnel, .. } => {
+                // §5: map the CPE's DiffServ marking into the MPLS QoS field.
+                let exp = self.exp_map.exp_of(dscp);
+                pkt.push_outer(Layer::Mpls(MplsLabel::new(vpn_label, exp, ttl)));
+                self.counters.label_ops += 1;
+                for &l in &tunnel.push {
+                    pkt.push_outer(Layer::Mpls(MplsLabel::new(l, exp, ttl)));
+                    self.counters.label_ops += 1;
+                }
+                self.counters.forwarded += 1;
+                if let Some(t) = &self.trace {
+                    let stack: Vec<u32> = pkt
+                        .layers()
+                        .iter()
+                        .map_while(|l| match l {
+                            Layer::Mpls(m) => Some(m.label),
+                            _ => None,
+                        })
+                        .collect();
+                    t.record(
+                        ctx.now(),
+                        &self.name,
+                        format!("vrf{vrf} push {stack:?} exp={exp}"),
+                        &pkt,
+                    );
+                }
+                ctx.send(IfaceId(tunnel.out_iface), pkt);
+            }
+        }
+    }
+
+    fn dispatch_vpn_label(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
+        let Some(top) = pkt.top_label() else {
+            self.counters.dropped_no_route += 1;
+            return;
+        };
+        let Some(&vrf) = self.vpn_ilm.get(&top.label) else {
+            self.counters.dropped_no_route += 1;
+            return;
+        };
+        pkt.pop_outer();
+        self.counters.label_ops += 1;
+        let Some(dst) = pkt.outer_ipv4().map(|h| h.dst) else {
+            self.counters.dropped_no_route += 1;
+            return;
+        };
+        self.counters.lpm_lookups += 1;
+        match self.vrfs[vrf].fib.lookup(dst).cloned() {
+            Some(VrfRoute::Local { out_iface }) => {
+                self.counters.forwarded += 1;
+                if let Some(t) = &self.trace {
+                    t.record(
+                        ctx.now(),
+                        &self.name,
+                        format!("pop vpn {} → vrf{vrf} if{out_iface}", top.label),
+                        &pkt,
+                    );
+                }
+                ctx.send(IfaceId(out_iface), pkt);
+            }
+            _ => {
+                // A VPN label must terminate at a local site; anything else
+                // is a misdelivery and is dropped (isolation property).
+                self.counters.dropped_no_route += 1;
+            }
+        }
+    }
+
+    fn handle_core(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
+        let Some(top) = pkt.top_label() else {
+            // Unlabeled traffic from the core is addressed to the PE
+            // itself (control plane) in this architecture.
+            self.counters.delivered_local += 1;
+            return;
+        };
+        if self.lfib.lookup(top.label).is_some() {
+            // Transit LSR role (or non-PHP tunnel egress).
+            self.counters.label_ops += 1;
+            match self.lfib.forward(&mut pkt) {
+                LfibVerdict::Forward { out_iface } if out_iface != LOCAL_IFACE => {
+                    self.counters.forwarded += 1;
+                    if let Some(t) = &self.trace {
+                        t.record(ctx.now(), &self.name, "transit swap".into(), &pkt);
+                    }
+                    ctx.send(IfaceId(out_iface), pkt);
+                }
+                LfibVerdict::Forward { .. } | LfibVerdict::PoppedToLocal => {
+                    // Tunnel terminated here (non-PHP): what remains is the
+                    // VPN label.
+                    self.dispatch_vpn_label(pkt, ctx);
+                }
+                LfibVerdict::TtlExpired => self.counters.dropped_ttl += 1,
+                _ => self.counters.dropped_no_route += 1,
+            }
+        } else {
+            // PHP already removed the tunnel label: top is the VPN label.
+            self.dispatch_vpn_label(pkt, ctx);
+        }
+    }
+}
+
+impl Node for PeRouter {
+    fn on_packet(&mut self, iface: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+        match self.iface_roles.get(iface.0).copied() {
+            Some(PeIfaceRole::Customer { vrf }) => self.handle_customer(iface.0, vrf, pkt, ctx),
+            Some(PeIfaceRole::Core) => self.handle_core(pkt, ctx),
+            None => self.counters.dropped_no_route += 1,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CE router
+// ---------------------------------------------------------------------------
+
+/// The customer edge / CPE device: marks upstream traffic (the paper's CBQ
+/// + DiffServ role) and routes between site hosts and the PE uplink.
+pub struct CeRouter {
+    /// Device name for traces.
+    pub name: String,
+    /// Interface toward the PE (always interface 0: the access link is
+    /// connected before any hosts).
+    pub uplink: usize,
+    /// Host-facing routes: destination prefix → local interface.
+    pub local: LpmTrie<usize>,
+    /// Upstream classification/marking policy (CPE role). `None` leaves
+    /// host markings untouched.
+    pub marking: Option<MarkingPolicy>,
+    /// Forwarding counters.
+    pub counters: RouterCounters,
+    /// Optional hop trace.
+    pub trace: Option<TraceLog>,
+}
+
+impl CeRouter {
+    /// Creates a CE whose uplink is interface 0.
+    pub fn new(name: impl Into<String>, marking: Option<MarkingPolicy>) -> Self {
+        CeRouter {
+            name: name.into(),
+            uplink: 0,
+            local: LpmTrie::new(),
+            marking,
+            counters: RouterCounters::default(),
+            trace: None,
+        }
+    }
+
+    /// Attaches a trace log.
+    pub fn with_trace(mut self, t: TraceLog) -> Self {
+        self.trace = Some(t);
+        self
+    }
+
+    /// Registers a host route: `prefix` lives on local interface `iface`.
+    pub fn add_host_route(&mut self, prefix: Prefix, iface: usize) {
+        self.local.insert(prefix, iface);
+    }
+
+    fn deliver_local(&mut self, dst: Ip, pkt: Packet, ctx: &mut Ctx) -> bool {
+        self.counters.lpm_lookups += 1;
+        if let Some(&out) = self.local.lookup(dst) {
+            self.counters.forwarded += 1;
+            if let Some(t) = &self.trace {
+                t.record(ctx.now(), &self.name, format!("deliver → if{out}"), &pkt);
+            }
+            ctx.send(IfaceId(out), pkt);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Node for CeRouter {
+    fn on_packet(&mut self, iface: IfaceId, mut pkt: Packet, ctx: &mut Ctx) {
+        let Some(hdr) = pkt.outer_ipv4_mut() else {
+            self.counters.dropped_no_route += 1;
+            return;
+        };
+        if !hdr.decrement_ttl() {
+            self.counters.dropped_ttl += 1;
+            return;
+        }
+        let dst = hdr.dst;
+        if iface.0 == self.uplink {
+            // Downstream: from the provider into the site.
+            if !self.deliver_local(dst, pkt, ctx) {
+                self.counters.dropped_no_route += 1;
+            }
+            return;
+        }
+        // Upstream from a host. Local destinations short-circuit.
+        if self.local.lookup(dst).is_some() {
+            let delivered = self.deliver_local(dst, pkt, ctx);
+            debug_assert!(delivered);
+            return;
+        }
+        // CPE classification + marking, then off to the PE.
+        if let Some(policy) = &self.marking {
+            let mark = policy.mark(&mut pkt);
+            if let (Some(t), Some(m)) = (&self.trace, mark) {
+                t.record(ctx.now(), &self.name, format!("classify/mark {m}"), &pkt);
+            }
+        } else if let Some(t) = &self.trace {
+            t.record(ctx.now(), &self.name, "uplink (no marking)".into(), &pkt);
+        }
+        self.counters.forwarded += 1;
+        ctx.send(IfaceId(self.uplink), pkt);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_mpls::lfib::{LabelOp, Nhlfe};
+    use netsim_net::addr::{ip, pfx};
+    use netsim_net::ip::proto;
+    use netsim_qos::MatchRule;
+    use netsim_sim::{LinkConfig, Network, Sink};
+
+    fn fast() -> LinkConfig {
+        LinkConfig::new(1_000_000_000, 1000)
+    }
+
+    /// Hand-built two-PE network: host→CE0→PE0→P→PE1→CE1→sink, PHP mode.
+    ///
+    /// Label plan: PE0 pushes [tunnel=100 above vpn=500]; P is penultimate
+    /// and pops 100; PE1 dispatches VPN label 500. Interface numbering is
+    /// deterministic (backbone links first), so the routers are fully
+    /// configured before wiring.
+    #[test]
+    fn end_to_end_vpn_path_php() {
+        // PE0: core iface 0 (to P), customer iface 1 (to CE0).
+        let mut pe0 = PeRouter::new("PE0", Lfib::new(), 1);
+        let v0 = pe0.add_vrf("acme");
+        pe0.attach_customer_iface(v0); // iface 1
+        pe0.install_remote_route(
+            v0,
+            pfx("10.2.0.0/16"),
+            1,
+            500,
+            FtnEntry { push: vec![100], out_iface: 0 },
+        );
+
+        // P: iface 0 to PE0, iface 1 to PE1; PHP-pops tunnel label 100.
+        let mut p_lfib = Lfib::new();
+        p_lfib.install(100, Nhlfe { op: LabelOp::Pop, out_iface: 1 });
+        let p = CoreRouter::new("P", p_lfib);
+
+        // PE1: core iface 0 (to P), customer iface 1 (to CE1).
+        let mut pe1 = PeRouter::new("PE1", Lfib::new(), 1);
+        let v1 = pe1.add_vrf("acme");
+        pe1.attach_customer_iface(v1); // iface 1
+        pe1.install_vpn_label(500, v1);
+        pe1.install_local_route(v1, pfx("10.2.0.0/16"), 1);
+
+        let ce0 = CeRouter::new("CE0", Some(MarkingPolicy::enterprise_default()));
+        let mut ce1 = CeRouter::new("CE1", None);
+        ce1.add_host_route(pfx("10.2.0.0/16"), 1);
+
+        let mut net = Network::new();
+        let pe0_id = net.add_node(Box::new(pe0));
+        let p_id = net.add_node(Box::new(p));
+        let pe1_id = net.add_node(Box::new(pe1));
+        let ce0_id = net.add_node(Box::new(ce0));
+        let ce1_id = net.add_node(Box::new(ce1));
+        let host_id = net.add_node(Box::new(netsim_sim::node::BlackHole::default()));
+        let sink_id = net.add_node(Box::new(Sink::new()));
+
+        // Backbone first so core ifaces are 0.
+        net.connect(pe0_id, p_id, fast()); // PE0 if0 ↔ P if0
+        net.connect(p_id, pe1_id, fast()); // P if1 ↔ PE1 if0
+        // Access links: CE uplink is CE iface 0.
+        net.connect(ce0_id, pe0_id, fast()); // CE0 if0 ↔ PE0 if1
+        net.connect(ce1_id, pe1_id, fast()); // CE1 if0 ↔ PE1 if1
+        // Hosts.
+        net.connect(host_id, ce0_id, fast()); // host if0 ↔ CE0 if1
+        net.connect(sink_id, ce1_id, fast()); // sink if0 ↔ CE1 if1
+
+        // Voice packet from site A host to site B.
+        let mut pkt = Packet::udp(ip("10.1.0.5"), ip("10.2.0.9"), 30000, 16400, Dscp::BE, 160);
+        pkt.meta.flow = 1;
+        net.inject(host_id, IfaceId(0), pkt);
+        net.run_to_quiescence();
+
+        let sink = net.node_ref::<Sink>(sink_id);
+        assert_eq!(sink.total_packets, 1, "packet must traverse the VPN");
+        let pe0r = net.node_ref::<PeRouter>(pe0_id);
+        assert_eq!(pe0r.counters.forwarded, 1);
+        assert_eq!(pe0r.counters.label_ops, 2, "vpn + tunnel push");
+        let pr = net.node_ref::<CoreRouter>(p_id);
+        assert_eq!(pr.counters.label_ops, 1);
+        assert_eq!(pr.counters.lpm_lookups, 0, "the P router never does IP lookups");
+        let pe1r = net.node_ref::<PeRouter>(pe1_id);
+        assert_eq!(pe1r.counters.forwarded, 1);
+    }
+
+    #[test]
+    fn pe_drops_unknown_vpn_label() {
+        let mut pe = PeRouter::new("PE", Lfib::new(), 1);
+        pe.add_vrf("x");
+        let mut net = Network::new();
+        let pe_id = net.add_node(Box::new(pe));
+        let peer = net.add_node(Box::new(netsim_sim::node::BlackHole::default()));
+        net.connect(pe_id, peer, fast());
+        let mut pkt = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, 10);
+        pkt.push_outer(Layer::Mpls(MplsLabel::new(999, 0, 64)));
+        net.inject(peer, IfaceId(0), pkt);
+        net.run_to_quiescence();
+        assert_eq!(net.node_ref::<PeRouter>(pe_id).counters.dropped_no_route, 1);
+    }
+
+    #[test]
+    fn ce_marks_with_policy() {
+        let mut policy = MarkingPolicy::new(Dscp::BE);
+        policy.push(MatchRule::any().protocol(proto::UDP).dst_port(9999), Dscp::AF41);
+        let mut ce = CeRouter::new("CE", Some(policy));
+        ce.add_host_route(pfx("10.1.0.0/16"), 1);
+
+        let mut net = Network::new();
+        let ce_id = net.add_node(Box::new(ce));
+        let pe = net.add_node(Box::new(Sink::new()));
+        let host = net.add_node(Box::new(netsim_sim::node::BlackHole::default()));
+        net.connect(ce_id, pe, fast()); // uplink = CE if0
+        net.connect(host, ce_id, fast()); // host on CE if1
+        let pkt = Packet::udp(ip("10.1.0.5"), ip("10.9.0.1"), 5, 9999, Dscp::BE, 10);
+        net.inject(host, IfaceId(0), pkt);
+        net.run_to_quiescence();
+        let sink = net.node_ref::<Sink>(pe);
+        assert_eq!(sink.total_packets, 1);
+        // The sink saw the marked packet — verify via flow stats existence;
+        // marking itself is asserted in the classify unit tests, here we
+        // assert the CE forwarded upstream.
+        assert_eq!(net.node_ref::<CeRouter>(ce_id).counters.forwarded, 1);
+    }
+
+    #[test]
+    fn ce_routes_between_local_hosts_without_uplink() {
+        let mut ce = CeRouter::new("CE", None);
+        ce.add_host_route(pfx("10.1.1.0/24"), 1);
+        ce.add_host_route(pfx("10.1.2.0/24"), 2);
+        let mut net = Network::new();
+        let ce_id = net.add_node(Box::new(ce));
+        let pe = net.add_node(Box::new(Sink::new()));
+        let h1 = net.add_node(Box::new(netsim_sim::node::BlackHole::default()));
+        let h2 = net.add_node(Box::new(Sink::new()));
+        net.connect(ce_id, pe, fast());
+        net.connect(h1, ce_id, fast());
+        net.connect(h2, ce_id, fast());
+        let pkt = Packet::udp(ip("10.1.1.5"), ip("10.1.2.7"), 1, 2, Dscp::BE, 10);
+        net.inject(h1, IfaceId(0), pkt);
+        net.run_to_quiescence();
+        assert_eq!(net.node_ref::<Sink>(h2).total_packets, 1, "stays inside the site");
+        assert_eq!(net.node_ref::<Sink>(pe).total_packets, 0, "nothing leaks to the uplink");
+    }
+
+    #[test]
+    fn core_router_ttl_protection() {
+        let mut p_lfib = Lfib::new();
+        p_lfib.install(7, Nhlfe { op: LabelOp::Swap(8), out_iface: 0 });
+        let p = CoreRouter::new("P", p_lfib);
+        let mut net = Network::new();
+        let p_id = net.add_node(Box::new(p));
+        let peer = net.add_node(Box::new(netsim_sim::node::BlackHole::default()));
+        net.connect(p_id, peer, fast());
+        let mut pkt = Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, 10);
+        pkt.push_outer(Layer::Mpls(MplsLabel::new(7, 0, 1)));
+        net.inject(peer, IfaceId(0), pkt);
+        net.run_to_quiescence();
+        let pr = net.node_ref::<CoreRouter>(p_id);
+        assert_eq!(pr.counters.dropped_ttl, 1);
+        assert_eq!(pr.counters.forwarded, 0);
+    }
+
+    /// Robustness: malformed or unroutable inputs are counted and dropped,
+    /// never panicking or leaking.
+    #[test]
+    fn routers_absorb_garbage_gracefully() {
+        let mut net = Network::new();
+        let mut pe = PeRouter::new("PE", Lfib::new(), 1);
+        let v = pe.add_vrf("x");
+        pe.attach_customer_iface(v);
+        let pe_id = net.add_node(Box::new(pe));
+        let core_peer = net.add_node(Box::new(netsim_sim::node::BlackHole::default()));
+        let cust_peer = net.add_node(Box::new(netsim_sim::node::BlackHole::default()));
+        net.connect(pe_id, core_peer, fast()); // iface 0 = core
+        net.connect(cust_peer, pe_id, fast()); // PE iface 1 = customer
+
+        // 1. A payload-only frame with no headers at all, from the customer.
+        net.inject(cust_peer, IfaceId(0), Packet::new(vec![], b"junk".as_slice().into()));
+        // 2. An unlabeled IP packet arriving from the core (control plane).
+        net.inject(core_peer, IfaceId(0), Packet::udp(ip("9.9.9.9"), ip("8.8.8.8"), 1, 2, Dscp::BE, 8));
+        // 3. A customer packet with no matching VRF route.
+        net.inject(cust_peer, IfaceId(0), Packet::udp(ip("10.0.0.1"), ip("172.31.0.1"), 1, 2, Dscp::BE, 8));
+        // 4. A customer packet with TTL 1 (dies at the PE).
+        let mut dying = Packet::udp(ip("10.0.0.1"), ip("172.31.0.1"), 1, 2, Dscp::BE, 8);
+        dying.outer_ipv4_mut().unwrap().ttl = 1;
+        net.inject(cust_peer, IfaceId(0), dying);
+        net.run_to_quiescence();
+
+        let per = net.node_ref::<PeRouter>(pe_id);
+        assert_eq!(per.counters.forwarded, 0);
+        assert_eq!(per.counters.delivered_local, 1, "unlabeled core packet absorbed");
+        assert_eq!(per.counters.dropped_no_route, 2, "junk + unroutable");
+        assert_eq!(per.counters.dropped_ttl, 1);
+    }
+
+    #[test]
+    fn policer_drops_red_and_demotes_yellow() {
+        let mut pe = PeRouter::new("PE", Lfib::new(), 0);
+        let v = pe.add_vrf("x");
+        let cust = pe.attach_customer_iface(v);
+        pe.install_local_route(v, pfx("10.2.0.0/16"), cust); // hairpin for test
+        pe.set_policer(cust, SrTcm::new(8_000_000, 500, 500));
+
+        let mut net = Network::new();
+        let pe_id = net.add_node(Box::new(pe));
+        let ce = net.add_node(Box::new(Sink::new()));
+        net.connect(pe_id, ce, fast()); // customer iface 0
+        for _ in 0..3 {
+            let pkt = Packet::udp(ip("10.1.0.1"), ip("10.2.0.1"), 1, 2, Dscp::AF11, 472);
+            net.inject(ce, IfaceId(0), pkt);
+        }
+        net.run_to_quiescence();
+        let per = net.node_ref::<PeRouter>(pe_id);
+        // 500 B wire each: first green, second yellow (demoted), third red.
+        assert_eq!(per.counters.dropped_policer, 1);
+        assert_eq!(per.counters.forwarded, 2);
+        let sink = net.node_ref::<Sink>(ce);
+        assert_eq!(sink.total_packets, 2);
+    }
+}

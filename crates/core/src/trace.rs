@@ -1,0 +1,123 @@
+//! Hop-by-hop packet tracing (experiment F3).
+//!
+//! Routers that are handed a [`TraceLog`] record one [`HopRecord`] per
+//! forwarding decision: what the device was, what it did, and what the
+//! label stack / markings looked like at that instant. The `exp_trace`
+//! binary prints the table reproducing the paper's Figure 3 path
+//! (CE → PE → P → PE → CE).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netsim_net::{Dscp, Packet};
+use netsim_qos::Nanos;
+
+/// One forwarding decision observed at one device.
+#[derive(Clone, Debug)]
+pub struct HopRecord {
+    /// Simulation time of the decision.
+    pub at: Nanos,
+    /// Device name (e.g. "PE0", "P2", "CE-siteA").
+    pub device: String,
+    /// What the device did (e.g. "push [17 102]", "swap 102→231").
+    pub action: String,
+    /// MPLS label values outermost-first after the action.
+    pub labels: Vec<u32>,
+    /// EXP of the top label after the action, if labeled.
+    pub exp: Option<u8>,
+    /// DSCP of the outermost IP header after the action, if visible.
+    pub dscp: Option<Dscp>,
+    /// Flow the packet belongs to.
+    pub flow: u64,
+    /// Sequence number of the packet.
+    pub seq: u64,
+}
+
+/// A shared, cheaply cloneable trace sink. Cloning shares the log.
+#[derive(Clone, Default)]
+pub struct TraceLog {
+    inner: Rc<RefCell<Vec<HopRecord>>>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Records a hop: captures the packet's current stack and markings.
+    pub fn record(&self, at: Nanos, device: &str, action: String, pkt: &Packet) {
+        let labels: Vec<u32> = pkt
+            .layers()
+            .iter()
+            .map_while(|l| match l {
+                netsim_net::Layer::Mpls(m) => Some(m.label),
+                _ => None,
+            })
+            .collect();
+        self.inner.borrow_mut().push(HopRecord {
+            at,
+            device: device.to_owned(),
+            action,
+            labels,
+            exp: pkt.top_label().map(|l| l.exp),
+            dscp: pkt.outer_ipv4().map(|h| h.dscp),
+            flow: pkt.meta.flow,
+            seq: pkt.meta.seq,
+        });
+    }
+
+    /// Snapshot of all records so far.
+    pub fn records(&self) -> Vec<HopRecord> {
+        self.inner.borrow().clone()
+    }
+
+    /// Records for one flow, in order.
+    pub fn flow(&self, flow: u64) -> Vec<HopRecord> {
+        self.inner.borrow().iter().filter(|r| r.flow == flow).cloned().collect()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_net::addr::ip;
+    use netsim_net::{Layer, MplsLabel};
+
+    #[test]
+    fn records_capture_stack_and_markings() {
+        let log = TraceLog::new();
+        let mut p = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::EF, 10);
+        p.meta.flow = 5;
+        log.record(100, "CE", "mark EF".into(), &p);
+        p.push_outer(Layer::Mpls(MplsLabel::new(17, 5, 64)));
+        p.push_outer(Layer::Mpls(MplsLabel::new(102, 5, 64)));
+        log.record(200, "PE0", "push [102 17]".into(), &p);
+        let recs = log.flow(5);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].labels, Vec::<u32>::new());
+        assert_eq!(recs[0].dscp, Some(Dscp::EF));
+        assert_eq!(recs[1].labels, vec![102, 17]);
+        assert_eq!(recs[1].exp, Some(5));
+        assert!(log.flow(6).is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let a = TraceLog::new();
+        let b = a.clone();
+        let p = Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, 0);
+        b.record(1, "X", "noop".into(), &p);
+        assert_eq!(a.len(), 1);
+    }
+}

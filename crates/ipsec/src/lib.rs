@@ -1,0 +1,54 @@
+//! # netsim-ipsec — ESP tunnel-mode emulation and IKE simulation
+//!
+//! The paper (§2.3) positions IPsec as "the standards for security" on IP
+//! VPNs, and (§3) observes its cost: "during the development of the second
+//! encryption tunnel, all information including the IP and MAC addresses
+//! are encrypted thus erasing any hope one may have to control QoS."
+//!
+//! This crate makes that observation *mechanically true* inside the
+//! emulator: [`esp::encapsulate`] wire-serializes the real inner packet,
+//! encrypts the bytes, and ships them as the payload of an outer
+//! `IP(proto=50)+ESP` packet. Downstream classifiers see exactly what a
+//! real DiffServ edge would see — an opaque ESP flow.
+//!
+//! **Security disclaimer (per DESIGN.md substitution table):** the block
+//! cipher is a toy 16-round Feistel network and the authenticator a keyed
+//! 64-bit hash. They stand in for DES/3DES + HMAC so that framing, padding,
+//! replay protection and per-byte processing cost are realistic; they are
+//! **not** cryptographically secure and exist only to drive the QoS
+//! experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim_ipsec::{decapsulate, encapsulate, SecurityAssociation};
+//! use netsim_net::{Dscp, Packet};
+//!
+//! let mut tx = SecurityAssociation::new(0x1001, 0xAAAA, 0xBBBB);
+//! let mut rx = SecurityAssociation::new(0x1001, 0xAAAA, 0xBBBB);
+//!
+//! let inner = Packet::udp(
+//!     "10.1.0.5".parse().unwrap(), "10.2.0.9".parse().unwrap(), 16000, 16400, Dscp::EF, 160);
+//! let outer = encapsulate(
+//!     &inner, &mut tx, "198.51.100.1".parse().unwrap(), "198.51.100.2".parse().unwrap());
+//!
+//! // The outer packet is classification-blind (§3 of the paper)…
+//! let t = outer.visible_five_tuple().unwrap();
+//! assert_eq!((t.protocol, t.dst_port), (netsim_net::ip::proto::ESP, 0));
+//! // …and a replayed copy is rejected.
+//! assert_eq!(decapsulate(&outer, &mut rx).unwrap().layers(), inner.layers());
+//! assert!(decapsulate(&outer, &mut rx).is_err());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod cipher;
+pub mod esp;
+pub mod ike;
+pub mod sa;
+
+pub use cipher::FeistelCipher;
+pub use esp::{decapsulate, encapsulate, CryptoCostModel, IpsecError};
+pub use ike::{IkeExchange, IkeProposal};
+pub use sa::{ReplayWindow, SaPair, SecurityAssociation};

@@ -1,0 +1,159 @@
+//! Property-based tests for the IPsec substrate: ESP round-trips for
+//! arbitrary inner packets, tamper resistance over random corruption, and
+//! replay-window behaviour under random sequence schedules.
+
+use bytes::Bytes;
+use netsim_ipsec::{decapsulate, encapsulate, ReplayWindow, SecurityAssociation};
+use netsim_net::addr::ip;
+use netsim_net::ip::proto;
+use netsim_net::{Dscp, Ip, Ipv4Header, Layer, Packet};
+use proptest::prelude::*;
+
+fn arb_inner() -> impl Strategy<Value = Packet> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        0u8..64,
+        any::<u16>(),
+        any::<u16>(),
+        any::<bool>(),
+        proptest::collection::vec(any::<u8>(), 0..600),
+    )
+        .prop_map(|(src, dst, dscp, sp, dp, tcp, payload)| {
+            let d = Dscp::new(dscp);
+            let mut pkt = if tcp {
+                Packet::tcp(Ip(src), Ip(dst), sp, dp, d, 0, 0)
+            } else {
+                Packet::udp(Ip(src), Ip(dst), sp, dp, d, 0)
+            };
+            pkt.payload = Bytes::from(payload);
+            pkt
+        })
+}
+
+fn sa(k: u64) -> SecurityAssociation {
+    SecurityAssociation::new(0x2000, k | 1, k.rotate_left(17) | 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any inner packet round-trips through ESP bit-exactly.
+    #[test]
+    fn esp_roundtrip_arbitrary_inner(inner in arb_inner(), key in any::<u64>()) {
+        let mut tx = sa(key);
+        let mut rx = sa(key);
+        let outer = encapsulate(&inner, &mut tx, ip("198.51.100.1"), ip("198.51.100.2"));
+        // ESP payload is block-aligned plus IV and ICV.
+        prop_assert_eq!((outer.payload.len() - 8 - 8) % 8, 0);
+        let got = decapsulate(&outer, &mut rx).expect("roundtrip");
+        prop_assert_eq!(got.layers(), inner.layers());
+        prop_assert_eq!(&got.payload, &inner.payload);
+    }
+
+    /// Flipping any single bit of the ESP payload is detected — decap must
+    /// never return success on tampered ciphertext.
+    #[test]
+    fn any_single_bitflip_detected(inner in arb_inner(), key in any::<u64>(), pos in any::<usize>(), bit in 0u8..8) {
+        let mut tx = sa(key);
+        let mut rx = sa(key);
+        let mut outer = encapsulate(&inner, &mut tx, ip("198.51.100.1"), ip("198.51.100.2"));
+        let mut body = outer.payload.to_vec();
+        let idx = pos % body.len();
+        body[idx] ^= 1 << bit;
+        outer.payload = Bytes::from(body);
+        prop_assert!(decapsulate(&outer, &mut rx).is_err());
+    }
+
+    /// Tampering with the ESP header (SPI/seq) is also detected, because
+    /// both are inside the ICV scope.
+    #[test]
+    fn header_tamper_detected(inner in arb_inner(), key in any::<u64>(), dseq in 1u32..1000) {
+        let mut tx = sa(key);
+        let mut rx = sa(key);
+        let outer = encapsulate(&inner, &mut tx, ip("198.51.100.1"), ip("198.51.100.2"));
+        // Mutate the seq in the structured header.
+        let mut layers: Vec<Layer> = outer.layers().to_vec();
+        if let Layer::Esp(ref mut e) = layers[1] {
+            e.seq = e.seq.wrapping_add(dseq);
+        }
+        let forged = {
+            let mut p = Packet::new(layers, outer.payload.clone());
+            p.meta = outer.meta;
+            p
+        };
+        prop_assert!(decapsulate(&forged, &mut rx).is_err());
+    }
+
+    /// Replay window: for any schedule of sequence numbers, each distinct
+    /// number is accepted at most once, and numbers newer than the highest
+    /// seen are always accepted.
+    #[test]
+    fn replay_window_at_most_once(seqs in proptest::collection::vec(1u32..500, 1..300)) {
+        let mut w = ReplayWindow::default();
+        let mut accepted = std::collections::HashSet::new();
+        let mut highest = 0u32;
+        for s in seqs {
+            let fresh_high = s > highest;
+            let ok = w.check_and_update(s);
+            if ok {
+                prop_assert!(accepted.insert(s), "seq {s} accepted twice");
+            }
+            if fresh_high {
+                prop_assert!(ok, "strictly newer seq {s} must be accepted");
+                highest = s;
+            }
+        }
+    }
+
+    /// Different SAs (wrong keys) never successfully decapsulate.
+    #[test]
+    fn cross_sa_never_decapsulates(inner in arb_inner(), k1 in any::<u64>(), k2 in any::<u64>()) {
+        prop_assume!(k1 | 1 != k2 | 1);
+        let mut tx = sa(k1);
+        let mut rx = sa(k2);
+        let outer = encapsulate(&inner, &mut tx, ip("1.1.1.1"), ip("2.2.2.2"));
+        prop_assert!(decapsulate(&outer, &mut rx).is_err());
+    }
+
+    /// Ciphertext reveals nothing classifiable: the visible 5-tuple of the
+    /// outer packet is constant regardless of the inner flow.
+    #[test]
+    fn outer_tuple_independent_of_inner(a in arb_inner(), b in arb_inner(), key in any::<u64>()) {
+        let mut tx = sa(key);
+        let oa = encapsulate(&a, &mut tx, ip("1.1.1.1"), ip("2.2.2.2"));
+        let ob = encapsulate(&b, &mut tx, ip("1.1.1.1"), ip("2.2.2.2"));
+        let ta = oa.visible_five_tuple().unwrap();
+        let tb = ob.visible_five_tuple().unwrap();
+        prop_assert_eq!(ta.protocol, proto::ESP);
+        prop_assert_eq!((ta.src, ta.dst, ta.src_port, ta.dst_port), (tb.src, tb.dst, tb.src_port, tb.dst_port));
+    }
+
+    /// The cipher itself: CBC round-trips any block-aligned buffer.
+    #[test]
+    fn cbc_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..32).prop_map(|mut v| {
+        v.resize(v.len() / 8 * 8, 0);
+        v
+    }), key in any::<u64>(), iv in any::<u64>()) {
+        use netsim_ipsec::FeistelCipher;
+        let c = FeistelCipher::new(key);
+        let mut buf = data.clone();
+        c.cbc_encrypt(iv, &mut buf);
+        c.cbc_decrypt(iv, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+}
+
+/// Sanity for the oddly-typed `header_tamper_detected` helper above: a
+/// plain unit check that the test really mutates the seq field.
+#[test]
+fn forged_seq_actually_differs() {
+    let inner = Packet::new(
+        vec![Layer::Ipv4(Ipv4Header::new(ip("1.1.1.1"), ip("2.2.2.2"), proto::UDP, Dscp::BE))],
+        Bytes::new(),
+    );
+    let mut tx = sa(5);
+    let outer = encapsulate(&inner, &mut tx, ip("3.3.3.3"), ip("4.4.4.4"));
+    let Layer::Esp(e) = outer.layers()[1] else { panic!("esp") };
+    assert_eq!(e.seq, 1);
+}

@@ -1,0 +1,103 @@
+//! Per-LSR label space management.
+
+use netsim_net::mpls::{MAX_LABEL, MIN_UNRESERVED_LABEL};
+
+/// Allocates labels from one platform-wide label space (per-LSR), reusing
+/// released labels LIFO.
+#[derive(Clone, Debug)]
+pub struct LabelSpace {
+    base: u32,
+    next: u32,
+    free: Vec<u32>,
+    live: u64,
+}
+
+impl Default for LabelSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LabelSpace {
+    /// Creates an empty label space starting at the first unreserved label.
+    pub fn new() -> Self {
+        Self::with_base(MIN_UNRESERVED_LABEL)
+    }
+
+    /// Creates a label space allocating from `base` upward. Platforms
+    /// partition the 20-bit space between protocols (e.g. LDP vs BGP VPN
+    /// labels) so that one device's tables never alias; the emulator does
+    /// the same.
+    pub fn with_base(base: u32) -> Self {
+        assert!((MIN_UNRESERVED_LABEL..=MAX_LABEL).contains(&base), "base {base} out of range");
+        LabelSpace { base, next: base, free: Vec::new(), live: 0 }
+    }
+
+    /// Allocates a fresh label.
+    ///
+    /// # Panics
+    /// Panics if the 20-bit space is exhausted (over one million live
+    /// labels — far beyond any experiment here; treat as a logic error).
+    pub fn allocate(&mut self) -> u32 {
+        self.live += 1;
+        if let Some(l) = self.free.pop() {
+            return l;
+        }
+        assert!(self.next <= MAX_LABEL, "label space exhausted");
+        let l = self.next;
+        self.next += 1;
+        l
+    }
+
+    /// Returns a label to the pool.
+    ///
+    /// # Panics
+    /// Panics on double release or on releasing a never-allocated label
+    /// (debug builds only for the scan; the live counter is always checked).
+    pub fn release(&mut self, label: u32) {
+        assert!(self.live > 0, "release with no live labels");
+        debug_assert!(
+            label >= self.base && label < self.next && !self.free.contains(&label),
+            "releasing invalid label {label}"
+        );
+        self.live -= 1;
+        self.free.push(label);
+    }
+
+    /// Labels currently allocated and not released. This is the per-LSR
+    /// state metric of experiment T1.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_distinct_unreserved_labels() {
+        let mut s = LabelSpace::new();
+        let a = s.allocate();
+        let b = s.allocate();
+        assert_ne!(a, b);
+        assert!(a >= MIN_UNRESERVED_LABEL && b >= MIN_UNRESERVED_LABEL);
+        assert_eq!(s.live(), 2);
+    }
+
+    #[test]
+    fn release_enables_reuse() {
+        let mut s = LabelSpace::new();
+        let a = s.allocate();
+        let _b = s.allocate();
+        s.release(a);
+        assert_eq!(s.live(), 1);
+        assert_eq!(s.allocate(), a, "released labels are reused LIFO");
+    }
+
+    #[test]
+    #[should_panic(expected = "no live labels")]
+    fn release_without_allocation_panics() {
+        LabelSpace::new().release(MIN_UNRESERVED_LABEL);
+    }
+}

@@ -1,0 +1,382 @@
+//! LDP emulation: downstream-unsolicited label distribution in synchronous
+//! rounds, with every Label Mapping message counted.
+//!
+//! The paper's §4: "The ISP's routing system distributes this information by
+//! piggybacking labels in the routing protocol updates or by using a label
+//! distribution protocol." This module is that label distribution protocol
+//! for the *tunnel* LSPs (PE-to-PE transport); the VPN route labels ride the
+//! BGP emulation in `netsim-routing`.
+//!
+//! The run is a fixpoint over rounds: the egress of each FEC advertises a
+//! binding; each LSR, on hearing a binding from its IGP next hop toward the
+//! FEC, allocates a local label, installs ILM/FTN state, and re-advertises
+//! (ordered control mode). Liberal retention: bindings from non-next-hop
+//! neighbors are remembered (and counted) but not installed.
+
+use std::collections::HashMap;
+
+use crate::label::LabelSpace;
+use crate::lfib::{FtnEntry, LabelOp, Lfib, Nhlfe, LOCAL_IFACE};
+use netsim_net::mpls::IMPLICIT_NULL;
+
+/// A forwarding equivalence class. In this emulator a FEC identifies the
+/// egress LSR's loopback (one tunnel LSP per egress PE), but the value is
+/// opaque to LDP.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fec(pub u32);
+
+/// LDP behaviour switches.
+#[derive(Clone, Copy, Debug)]
+pub struct LdpConfig {
+    /// Penultimate-hop popping: the egress advertises implicit-null so the
+    /// hop before it pops the label (saves one lookup at the egress).
+    pub php: bool,
+}
+
+impl Default for LdpConfig {
+    fn default() -> Self {
+        LdpConfig { php: true }
+    }
+}
+
+/// Per-LSR LDP state after convergence.
+#[derive(Debug, Default)]
+pub struct LdpNodeState {
+    /// The node's label space.
+    pub space: LabelSpace,
+    /// Installed label-switching table.
+    pub lfib: Lfib,
+    /// Local binding per FEC (implicit-null at a PHP egress).
+    pub bindings: HashMap<Fec, u32>,
+    /// Ingress map: FEC → labels to push + egress interface.
+    pub ftn: HashMap<Fec, FtnEntry>,
+    /// Bindings heard per (FEC, neighbor) — liberal retention.
+    pub received: HashMap<(Fec, usize), u32>,
+}
+
+impl LdpNodeState {
+    fn new() -> Self {
+        LdpNodeState {
+            space: LabelSpace::new(),
+            lfib: Lfib::new(),
+            bindings: HashMap::new(),
+            ftn: HashMap::new(),
+            received: HashMap::new(),
+        }
+    }
+}
+
+/// A converged LDP domain plus its convergence cost metrics.
+#[derive(Debug)]
+pub struct LdpDomain {
+    /// Per-node state, indexed by node id.
+    pub nodes: Vec<LdpNodeState>,
+    /// Egress node per FEC.
+    pub egress: HashMap<Fec, usize>,
+    /// Label Mapping messages exchanged during convergence.
+    pub messages: u64,
+    /// Synchronous rounds until quiescence.
+    pub rounds: u32,
+    /// LDP sessions (one per adjacency, both directions counted once).
+    pub sessions: u64,
+}
+
+struct Mapping {
+    from: usize,
+    to: usize,
+    fec: Fec,
+    label: u32,
+}
+
+impl LdpDomain {
+    /// Runs LDP to convergence.
+    ///
+    /// * `adjacency[u]` lists `u`'s neighbors; the position of `v` in that
+    ///   list is the interface index `u` uses to reach `v`.
+    /// * `fecs` maps each FEC to its egress node.
+    /// * `next_hop(u, egress)` gives `u`'s IGP next hop toward `egress`
+    ///   (`None` at the egress itself or when unreachable).
+    pub fn run(
+        adjacency: &[Vec<usize>],
+        fecs: &[(Fec, usize)],
+        next_hop: &dyn Fn(usize, usize) -> Option<usize>,
+        cfg: LdpConfig,
+    ) -> LdpDomain {
+        let n = adjacency.len();
+        let mut nodes: Vec<LdpNodeState> = (0..n).map(|_| LdpNodeState::new()).collect();
+        let mut egress_of: HashMap<Fec, usize> = HashMap::new();
+        let mut messages = 0u64;
+        let mut rounds = 0u32;
+        let sessions = adjacency.iter().map(|a| a.len() as u64).sum::<u64>() / 2;
+
+        let mut queue: Vec<Mapping> = Vec::new();
+
+        // Round 0: each egress originates its binding.
+        for &(fec, egress) in fecs {
+            assert!(egress < n, "egress {egress} out of range");
+            let prev = egress_of.insert(fec, egress);
+            assert!(prev.is_none() || prev == Some(egress), "duplicate FEC with different egress");
+            let local = if cfg.php {
+                IMPLICIT_NULL
+            } else {
+                let l = nodes[egress].space.allocate();
+                nodes[egress].lfib.install(l, Nhlfe { op: LabelOp::Pop, out_iface: LOCAL_IFACE });
+                l
+            };
+            nodes[egress].bindings.insert(fec, local);
+            for &nb in &adjacency[egress] {
+                queue.push(Mapping { from: egress, to: nb, fec, label: local });
+                messages += 1;
+            }
+        }
+
+        // Rounds 1..: deliver, install, re-advertise until quiescent.
+        while !queue.is_empty() {
+            rounds += 1;
+            assert!(rounds as usize <= n + 2, "LDP failed to converge — inconsistent next_hop?");
+            let mut next_queue: Vec<Mapping> = Vec::new();
+            for m in queue.drain(..) {
+                let node = &mut nodes[m.to];
+                node.received.insert((m.fec, m.from), m.label);
+                let egress = egress_of[&m.fec];
+                if m.to == egress {
+                    continue; // the egress ignores upstream bindings
+                }
+                if next_hop(m.to, egress) != Some(m.from) {
+                    continue; // liberal retention only
+                }
+                let out_iface = adjacency[m.to]
+                    .iter()
+                    .position(|&v| v == m.from)
+                    .expect("mapping sender must be a neighbor");
+                let op = if m.label == IMPLICIT_NULL { LabelOp::Pop } else { LabelOp::Swap(m.label) };
+                let push =
+                    if m.label == IMPLICIT_NULL { Vec::new() } else { vec![m.label] };
+                node.ftn.insert(m.fec, FtnEntry { push, out_iface });
+                match node.bindings.get(&m.fec) {
+                    Some(&local) => {
+                        // Next-hop binding changed: refresh the ILM only.
+                        node.lfib.install(local, Nhlfe { op, out_iface });
+                    }
+                    None => {
+                        let local = node.space.allocate();
+                        node.bindings.insert(m.fec, local);
+                        node.lfib.install(local, Nhlfe { op, out_iface });
+                        for &nb in &adjacency[m.to] {
+                            next_queue.push(Mapping { from: m.to, to: nb, fec: m.fec, label: local });
+                            messages += 1;
+                        }
+                    }
+                }
+            }
+            queue = next_queue;
+        }
+
+        LdpDomain { nodes, egress: egress_of, messages, rounds, sessions }
+    }
+
+    /// Follows the installed tables from `ingress` toward `fec`, returning
+    /// the node path (including ingress and egress) or `None` if forwarding
+    /// fails. Used by tests and the tunnel experiments.
+    pub fn walk(&self, adjacency: &[Vec<usize>], ingress: usize, fec: Fec) -> Option<Vec<usize>> {
+        let egress = *self.egress.get(&fec)?;
+        if ingress == egress {
+            return Some(vec![ingress]);
+        }
+        let ftn = self.nodes[ingress].ftn.get(&fec)?;
+        let mut path = vec![ingress];
+        let mut label = ftn.push.first().copied();
+        let mut at = *adjacency[ingress].get(ftn.out_iface)?;
+        for _ in 0..adjacency.len() {
+            path.push(at);
+            if at == egress {
+                return match label {
+                    // PHP: the label was already popped upstream.
+                    None => Some(path),
+                    // Non-PHP: the egress must hold a Pop entry for it.
+                    Some(l) => match self.nodes[at].lfib.lookup(l)?.op {
+                        LabelOp::Pop => Some(path),
+                        _ => None,
+                    },
+                };
+            }
+            let l = label?;
+            let nhlfe = self.nodes[at].lfib.lookup(l)?;
+            match nhlfe.op {
+                LabelOp::Swap(out) => {
+                    label = Some(out);
+                    at = *adjacency[at].get(nhlfe.out_iface)?;
+                }
+                LabelOp::Pop => {
+                    label = None;
+                    at = *adjacency[at].get(nhlfe.out_iface)?;
+                }
+                LabelOp::SwapPush { .. } => return None, // LDP never installs these
+            }
+        }
+        None
+    }
+
+    /// Total labels allocated across all LSRs (state metric for T1).
+    pub fn total_labels(&self) -> u64 {
+        self.nodes.iter().map(|s| s.space.live()).sum()
+    }
+
+    /// Total ILM entries across all LSRs.
+    pub fn total_ilm_entries(&self) -> usize {
+        self.nodes.iter().map(|s| s.lfib.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hop-count next-hop on an adjacency list via BFS (deterministic:
+    /// lowest neighbor id wins ties).
+    pub(crate) fn bfs_next_hop(adjacency: &[Vec<usize>]) -> impl Fn(usize, usize) -> Option<usize> + '_ {
+        move |from: usize, to: usize| {
+            if from == to {
+                return None;
+            }
+            // BFS from `to`, tracking distance; next hop = neighbor of
+            // `from` minimizing (distance, id).
+            let n = adjacency.len();
+            let mut dist = vec![usize::MAX; n];
+            dist[to] = 0;
+            let mut q = std::collections::VecDeque::from([to]);
+            while let Some(u) = q.pop_front() {
+                for &v in &adjacency[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            adjacency[from]
+                .iter()
+                .copied()
+                .filter(|&v| dist[v] != usize::MAX)
+                .min_by_key(|&v| (dist[v], v))
+                .filter(|_| dist[from] != usize::MAX)
+        }
+    }
+
+    fn chain(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| {
+                let mut adj = Vec::new();
+                if i > 0 {
+                    adj.push(i - 1);
+                }
+                if i + 1 < n {
+                    adj.push(i + 1);
+                }
+                adj
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chain_converges_and_forwards_php() {
+        let adj = chain(5);
+        let nh = bfs_next_hop(&adj);
+        let d = LdpDomain::run(&adj, &[(Fec(0), 4)], &nh, LdpConfig { php: true });
+        // Every non-egress node walks to the egress.
+        for ingress in 0..4 {
+            assert_eq!(d.walk(&adj, ingress, Fec(0)), Some((ingress..=4).collect::<Vec<_>>()));
+        }
+        // PHP: egress allocated no label; nodes 1..=3 allocated one each,
+        // plus node 0 (ingress also re-advertises).
+        assert_eq!(d.nodes[4].space.live(), 0);
+        assert_eq!(d.total_labels(), 4);
+        // 4 propagation rounds plus the final quiescent delivery round.
+        assert_eq!(d.rounds, 5);
+        assert_eq!(d.sessions, 4);
+    }
+
+    #[test]
+    fn chain_non_php_has_egress_label() {
+        let adj = chain(3);
+        let nh = bfs_next_hop(&adj);
+        let d = LdpDomain::run(&adj, &[(Fec(0), 2)], &nh, LdpConfig { php: false });
+        assert_eq!(d.nodes[2].space.live(), 1, "egress allocates an explicit label");
+        assert_eq!(d.walk(&adj, 0, Fec(0)), Some(vec![0, 1, 2]));
+        // The penultimate hop swaps (not pops) under non-PHP.
+        let local1 = d.nodes[1].bindings[&Fec(0)];
+        assert!(matches!(d.nodes[1].lfib.lookup(local1).unwrap().op, LabelOp::Swap(_)));
+    }
+
+    #[test]
+    fn full_mesh_fecs_state_scales_linearly_per_node() {
+        // 6-node ring, one FEC per node (the T1 comparison point: per-PE
+        // state grows O(N), not O(N²)).
+        let n = 6;
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect();
+        let nh = bfs_next_hop(&adj);
+        let fecs: Vec<(Fec, usize)> = (0..n).map(|i| (Fec(i as u32), i)).collect();
+        let d = LdpDomain::run(&adj, &fecs, &nh, LdpConfig::default());
+        for u in 0..n {
+            // Each node binds every FEC except where it's penultimate-free.
+            assert!(d.nodes[u].bindings.len() <= n);
+            assert!(d.nodes[u].lfib.len() < n, "per-node ILM is O(N)");
+            // Every node can reach every FEC.
+            for f in 0..n {
+                if f != u {
+                    let path = d.walk(&adj, u, Fec(f as u32)).expect("reachable");
+                    assert_eq!(*path.last().unwrap(), f);
+                    assert_eq!(path[0], u);
+                }
+            }
+        }
+        assert!(d.messages > 0);
+    }
+
+    #[test]
+    fn star_topology_hub_carries_all_lsps() {
+        // Node 0 is the hub; 1..=4 are leaves.
+        let mut adj = vec![vec![1, 2, 3, 4]];
+        for _ in 1..=4 {
+            adj.push(vec![0]);
+        }
+        let nh = bfs_next_hop(&adj);
+        let fecs: Vec<(Fec, usize)> = (1..=4).map(|i| (Fec(i as u32), i)).collect();
+        let d = LdpDomain::run(&adj, &fecs, &nh, LdpConfig { php: false });
+        for src in 1..=4usize {
+            for dst in 1..=4usize {
+                if src != dst {
+                    assert_eq!(d.walk(&adj, src, Fec(dst as u32)), Some(vec![src, 0, dst]));
+                }
+            }
+        }
+        // The hub holds a binding for each of the 4 FECs.
+        assert_eq!(d.nodes[0].bindings.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_fec_installs_nothing() {
+        // Two disconnected components: {0,1} and {2}.
+        let adj = vec![vec![1], vec![0], vec![]];
+        let nh = bfs_next_hop(&adj);
+        let d = LdpDomain::run(&adj, &[(Fec(9), 2)], &nh, LdpConfig::default());
+        assert!(d.walk(&adj, 0, Fec(9)).is_none());
+        assert!(!d.nodes[0].ftn.contains_key(&Fec(9)));
+    }
+
+    #[test]
+    fn messages_grow_with_topology_size() {
+        let small = {
+            let adj = chain(4);
+            let nh = bfs_next_hop(&adj);
+            let fecs: Vec<_> = (0..4).map(|i| (Fec(i as u32), i)).collect();
+            LdpDomain::run(&adj, &fecs, &nh, LdpConfig::default()).messages
+        };
+        let large = {
+            let adj = chain(16);
+            let nh = bfs_next_hop(&adj);
+            let fecs: Vec<_> = (0..16).map(|i| (Fec(i as u32), i)).collect();
+            LdpDomain::run(&adj, &fecs, &nh, LdpConfig::default()).messages
+        };
+        assert!(large > small * 4, "messages must scale with N and FEC count");
+    }
+}

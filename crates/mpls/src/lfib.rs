@@ -1,0 +1,259 @@
+//! The label forwarding information base: ILM, NHLFE and FTN.
+//!
+//! The ILM is a dense vector indexed by incoming label, so the per-packet
+//! cost of label-switched forwarding is a bounds-checked array read — the
+//! speed claim of the paper's §3 ("forward traffic based on information in
+//! the labels instead of having to inspect the various fields deep within
+//! each and every packet"), which bench `lpm_vs_label` quantifies against
+//! the LPM trie.
+
+use netsim_net::{Layer, MplsLabel, Packet};
+
+/// The label operation of an NHLFE.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LabelOp {
+    /// Replace the top label with `0.0` (value set by the entry).
+    Swap(u32),
+    /// Pop the top label (penultimate hop or egress).
+    Pop,
+    /// Swap the top label and push one more above it (used when an LSP is
+    /// nested into another tunnel, e.g. inter-provider stitching).
+    SwapPush {
+        /// Replacement for the current top label.
+        swap: u32,
+        /// Additional label pushed above it.
+        push: u32,
+    },
+}
+
+/// Next-hop label forwarding entry: what to do with a matched packet and
+/// where to send it. `out_iface` is an opaque interface index interpreted
+/// by the owning router.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Nhlfe {
+    /// The label-stack operation.
+    pub op: LabelOp,
+    /// Egress interface index.
+    pub out_iface: usize,
+}
+
+/// Ingress mapping for one FEC: labels to push and the egress interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FtnEntry {
+    /// Labels to push, bottom first (tunnel label last ⇒ outermost).
+    pub push: Vec<u32>,
+    /// Egress interface index.
+    pub out_iface: usize,
+}
+
+/// Result of running a packet through [`Lfib::forward`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LfibVerdict {
+    /// Forward out `out_iface` (label ops already applied to the packet).
+    Forward {
+        /// Interface to transmit on.
+        out_iface: usize,
+    },
+    /// The stack emptied at this LSR: deliver the inner packet locally
+    /// (egress processing, e.g. VPN label handling or IP forwarding).
+    PoppedToLocal,
+    /// No ILM entry for the top label: drop (counts as a misrouting bug in
+    /// tests).
+    NoEntry,
+    /// MPLS TTL expired: drop.
+    TtlExpired,
+    /// The packet carried no label.
+    NotLabeled,
+}
+
+/// The label forwarding table of one LSR.
+#[derive(Clone, Debug, Default)]
+pub struct Lfib {
+    ilm: Vec<Option<Nhlfe>>,
+    entries: usize,
+}
+
+impl Lfib {
+    /// Creates an empty LFIB.
+    pub fn new() -> Self {
+        Lfib::default()
+    }
+
+    /// Installs an ILM entry for `in_label`.
+    pub fn install(&mut self, in_label: u32, nhlfe: Nhlfe) {
+        let idx = in_label as usize;
+        if idx >= self.ilm.len() {
+            self.ilm.resize(idx + 1, None);
+        }
+        if self.ilm[idx].replace(nhlfe).is_none() {
+            self.entries += 1;
+        }
+    }
+
+    /// Removes the ILM entry for `in_label`, returning it if present.
+    pub fn remove(&mut self, in_label: u32) -> Option<Nhlfe> {
+        let e = self.ilm.get_mut(in_label as usize)?.take();
+        if e.is_some() {
+            self.entries -= 1;
+        }
+        e
+    }
+
+    /// Looks up an incoming label. This is the hot path.
+    #[inline]
+    pub fn lookup(&self, in_label: u32) -> Option<&Nhlfe> {
+        self.ilm.get(in_label as usize)?.as_ref()
+    }
+
+    /// Number of installed ILM entries (per-LSR state metric for T1).
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Applies this LSR's forwarding to a labeled packet in place:
+    /// TTL check + ILM lookup + label operation.
+    pub fn forward(&self, pkt: &mut Packet) -> LfibVerdict {
+        let Some(top) = pkt.top_label() else {
+            return LfibVerdict::NotLabeled;
+        };
+        let Some(nhlfe) = self.lookup(top.label) else {
+            return LfibVerdict::NoEntry;
+        };
+        // TTL processing: decrement the top entry; expiry drops the packet.
+        let mut top = top;
+        if !top.decrement_ttl() {
+            return LfibVerdict::TtlExpired;
+        }
+        match nhlfe.op {
+            LabelOp::Swap(out) => {
+                if let Some(Layer::Mpls(l)) = pkt.outer_mut() {
+                    *l = MplsLabel { label: out, exp: top.exp, ttl: top.ttl };
+                }
+                LfibVerdict::Forward { out_iface: nhlfe.out_iface }
+            }
+            LabelOp::SwapPush { swap, push } => {
+                if let Some(Layer::Mpls(l)) = pkt.outer_mut() {
+                    *l = MplsLabel { label: swap, exp: top.exp, ttl: top.ttl };
+                }
+                pkt.push_outer(Layer::Mpls(MplsLabel { label: push, exp: top.exp, ttl: top.ttl }));
+                LfibVerdict::Forward { out_iface: nhlfe.out_iface }
+            }
+            LabelOp::Pop => {
+                pkt.pop_outer();
+                if pkt.top_label().is_some() {
+                    // Propagate the decremented TTL to the exposed entry
+                    // (uniform TTL model) and keep forwarding.
+                    if let Some(Layer::Mpls(l)) = pkt.outer_mut() {
+                        l.ttl = top.ttl;
+                    }
+                    LfibVerdict::Forward { out_iface: nhlfe.out_iface }
+                } else if nhlfe.out_iface == LOCAL_IFACE {
+                    LfibVerdict::PoppedToLocal
+                } else {
+                    // Penultimate-hop pop: forward the now-unlabeled packet.
+                    LfibVerdict::Forward { out_iface: nhlfe.out_iface }
+                }
+            }
+        }
+    }
+}
+
+/// Sentinel interface index meaning "deliver locally" in an [`Nhlfe`].
+pub const LOCAL_IFACE: usize = usize::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_net::addr::ip;
+    use netsim_net::Dscp;
+
+    fn labeled(label: u32, exp: u8, ttl: u8) -> Packet {
+        let mut p = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, 64);
+        p.push_outer(Layer::Mpls(MplsLabel::new(label, exp, ttl)));
+        p
+    }
+
+    #[test]
+    fn swap_preserves_exp_and_decrements_ttl() {
+        let mut lfib = Lfib::new();
+        lfib.install(100, Nhlfe { op: LabelOp::Swap(200), out_iface: 3 });
+        let mut p = labeled(100, 5, 64);
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::Forward { out_iface: 3 });
+        let top = p.top_label().unwrap();
+        assert_eq!(top.label, 200);
+        assert_eq!(top.exp, 5, "EXP must survive the swap (QoS in the core)");
+        assert_eq!(top.ttl, 63);
+    }
+
+    #[test]
+    fn pop_to_local_at_egress() {
+        let mut lfib = Lfib::new();
+        lfib.install(77, Nhlfe { op: LabelOp::Pop, out_iface: LOCAL_IFACE });
+        let mut p = labeled(77, 1, 10);
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::PoppedToLocal);
+        assert!(p.top_label().is_none());
+    }
+
+    #[test]
+    fn php_pop_forwards_unlabeled() {
+        let mut lfib = Lfib::new();
+        lfib.install(77, Nhlfe { op: LabelOp::Pop, out_iface: 2 });
+        let mut p = labeled(77, 1, 10);
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::Forward { out_iface: 2 });
+        assert!(p.top_label().is_none());
+    }
+
+    #[test]
+    fn pop_exposes_inner_label_with_propagated_ttl() {
+        let mut lfib = Lfib::new();
+        lfib.install(300, Nhlfe { op: LabelOp::Pop, out_iface: 4 });
+        let mut p = labeled(42, 3, 9); // inner VPN label
+        p.push_outer(Layer::Mpls(MplsLabel::new(300, 3, 7))); // tunnel label
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::Forward { out_iface: 4 });
+        let top = p.top_label().unwrap();
+        assert_eq!(top.label, 42);
+        assert_eq!(top.ttl, 6, "uniform TTL model propagates downward");
+    }
+
+    #[test]
+    fn swap_push_nests_tunnels() {
+        let mut lfib = Lfib::new();
+        lfib.install(10, Nhlfe { op: LabelOp::SwapPush { swap: 11, push: 500 }, out_iface: 1 });
+        let mut p = labeled(10, 2, 20);
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::Forward { out_iface: 1 });
+        assert_eq!(p.label_depth(), 2);
+        assert_eq!(p.top_label().unwrap().label, 500);
+        assert_eq!(p.layers()[1], Layer::Mpls(MplsLabel::new(11, 2, 19)));
+    }
+
+    #[test]
+    fn ttl_expiry_and_missing_entry() {
+        let mut lfib = Lfib::new();
+        lfib.install(5, Nhlfe { op: LabelOp::Swap(6), out_iface: 0 });
+        let mut p = labeled(5, 0, 1);
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::TtlExpired);
+        let mut q = labeled(9, 0, 64);
+        assert_eq!(lfib.forward(&mut q), LfibVerdict::NoEntry);
+        let mut r = Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, 0);
+        assert_eq!(lfib.forward(&mut r), LfibVerdict::NotLabeled);
+    }
+
+    #[test]
+    fn install_remove_len() {
+        let mut lfib = Lfib::new();
+        lfib.install(100, Nhlfe { op: LabelOp::Pop, out_iface: 0 });
+        lfib.install(100, Nhlfe { op: LabelOp::Swap(1), out_iface: 0 });
+        assert_eq!(lfib.len(), 1, "reinstall replaces");
+        lfib.install(200, Nhlfe { op: LabelOp::Pop, out_iface: 0 });
+        assert_eq!(lfib.len(), 2);
+        assert!(lfib.remove(100).is_some());
+        assert!(lfib.remove(100).is_none());
+        assert_eq!(lfib.len(), 1);
+        assert!(lfib.lookup(100).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! # netsim-mpls — MPLS data plane and label distribution
+//!
+//! The label-switching substrate of the reproduction:
+//!
+//! * [`label`] — per-LSR label spaces (allocation/release).
+//! * [`lfib`] — the forwarding tables: ILM (incoming label map) with O(1)
+//!   dense lookup, NHLFE operations (swap/push/pop with TTL and EXP
+//!   handling), and the FTN (FEC-to-NHLFE) map used at the ingress.
+//! * [`ldp`] — an LDP emulation (downstream-unsolicited, ordered control)
+//!   that runs in synchronous rounds over a topology and counts every
+//!   Label Mapping message — the currency of the paper's scalability
+//!   argument (§2.1 vs §4).
+//! * [`explicit`] — RSVP-TE-style signalling of an LSP along an explicit
+//!   route, used by the traffic-engineering crate.
+//!
+//! The paper (§3): "MPLS brings the same kind of label swapping based
+//! forwarding used in frame relay and ATM to the handling of IP traffic."
+//! [`lfib::Lfib::lookup`] *is* that claim's fast path; bench `lpm_vs_label`
+//! measures it against the IP longest-prefix match.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim_mpls::lfib::{LabelOp, LfibVerdict, Nhlfe};
+//! use netsim_mpls::Lfib;
+//! use netsim_net::{Dscp, Layer, MplsLabel, Packet};
+//!
+//! let mut lfib = Lfib::new();
+//! lfib.install(100, Nhlfe { op: LabelOp::Swap(200), out_iface: 3 });
+//!
+//! let mut pkt = Packet::udp(
+//!     "10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(), 1, 2, Dscp::EF, 64);
+//! pkt.push_outer(Layer::Mpls(MplsLabel::new(100, 5, 64)));
+//!
+//! assert_eq!(lfib.forward(&mut pkt), LfibVerdict::Forward { out_iface: 3 });
+//! let top = pkt.top_label().unwrap();
+//! assert_eq!((top.label, top.exp, top.ttl), (200, 5, 63)); // EXP survives the swap
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod explicit;
+pub mod label;
+pub mod ldp;
+pub mod lfib;
+
+pub use explicit::{signal_explicit_lsp, ExplicitLsp, LspHop};
+pub use label::LabelSpace;
+pub use ldp::{Fec, LdpConfig, LdpDomain, LdpNodeState};
+pub use lfib::{FtnEntry, LabelOp, Lfib, Nhlfe};

@@ -1,0 +1,293 @@
+//! The structured packet model shared by the whole emulator.
+//!
+//! A [`Packet`] is a stack of [`Layer`]s (outermost first) over an opaque
+//! payload. Routers push/pop/swap layers without any byte-level work; the
+//! wire form (see [`crate::wire`]) is produced only when something needs real
+//! bytes — IPsec encryption, link-serialization byte counting, or the codec
+//! property tests.
+
+use bytes::Bytes;
+
+use crate::addr::Ip;
+use crate::dscp::Dscp;
+use crate::fr::{VcHeader, VC_HEADER_LEN};
+use crate::ip::{proto, Ipv4Header, IPV4_HEADER_LEN};
+use crate::mpls::{MplsLabel, MPLS_ENTRY_LEN};
+use crate::transport::{FiveTuple, TcpHeader, UdpHeader, TCP_HEADER_LEN, UDP_HEADER_LEN};
+
+/// An ESP header (RFC 2406): security parameters index plus sequence number.
+/// The encrypted body (ciphertext, padding, trailer, ICV) travels as the
+/// packet payload; only `netsim-ipsec` can look inside.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EspHeader {
+    /// Security parameters index identifying the SA at the receiver.
+    pub spi: u32,
+    /// Anti-replay sequence number.
+    pub seq: u32,
+}
+
+/// Size in bytes of the ESP header on the wire.
+pub const ESP_HEADER_LEN: usize = 8;
+
+/// One protocol layer of a packet, outermost first in [`Packet::layers`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Layer {
+    /// One MPLS label stack entry (multiple entries = multiple layers).
+    Mpls(MplsLabel),
+    /// An IPv4 header. May appear twice (IP-in-IP tunnel baseline).
+    Ipv4(Ipv4Header),
+    /// UDP ports.
+    Udp(UdpHeader),
+    /// TCP subset.
+    Tcp(TcpHeader),
+    /// ESP: everything beneath is encrypted into the payload.
+    Esp(EspHeader),
+    /// Frame-relay-like virtual circuit header (overlay baseline).
+    Vc(VcHeader),
+}
+
+impl Layer {
+    /// On-wire size of this layer's header in bytes.
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Layer::Mpls(_) => MPLS_ENTRY_LEN,
+            Layer::Ipv4(_) => IPV4_HEADER_LEN,
+            Layer::Udp(_) => UDP_HEADER_LEN,
+            Layer::Tcp(_) => TCP_HEADER_LEN,
+            Layer::Esp(_) => ESP_HEADER_LEN,
+            Layer::Vc(_) => VC_HEADER_LEN,
+        }
+    }
+}
+
+/// Simulation metadata riding along with a packet. Not part of the wire
+/// form; used by the statistics machinery to compute latency, jitter and
+/// loss without embedding timestamps in payloads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PktMeta {
+    /// Flow identifier assigned by the traffic generator.
+    pub flow: u64,
+    /// Per-flow sequence number.
+    pub seq: u64,
+    /// Simulation time (ns) at which the packet was created.
+    pub created_ns: u64,
+}
+
+/// A packet: layered headers over an opaque payload.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Packet {
+    layers: Vec<Layer>,
+    /// Opaque application payload (or ESP ciphertext when the innermost
+    /// layer is [`Layer::Esp`]).
+    pub payload: Bytes,
+    /// Simulation metadata (never serialized).
+    pub meta: PktMeta,
+}
+
+impl Packet {
+    /// Creates a packet from layers (outermost first) and payload.
+    pub fn new(layers: Vec<Layer>, payload: Bytes) -> Self {
+        Packet { layers, payload, meta: PktMeta::default() }
+    }
+
+    /// Convenience: a UDP datagram with `payload_len` zero bytes of payload.
+    pub fn udp(src: Ip, dst: Ip, src_port: u16, dst_port: u16, dscp: Dscp, payload_len: usize) -> Self {
+        Packet::new(
+            vec![
+                Layer::Ipv4(Ipv4Header::new(src, dst, proto::UDP, dscp)),
+                Layer::Udp(UdpHeader::new(src_port, dst_port)),
+            ],
+            Bytes::from(vec![0u8; payload_len]),
+        )
+    }
+
+    /// Convenience: a TCP segment with `payload_len` zero bytes of payload.
+    pub fn tcp(src: Ip, dst: Ip, src_port: u16, dst_port: u16, dscp: Dscp, seq: u32, payload_len: usize) -> Self {
+        Packet::new(
+            vec![
+                Layer::Ipv4(Ipv4Header::new(src, dst, proto::TCP, dscp)),
+                Layer::Tcp(TcpHeader::new(src_port, dst_port, seq)),
+            ],
+            Bytes::from(vec![0u8; payload_len]),
+        )
+    }
+
+    /// The layer stack, outermost first.
+    #[inline]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The outermost layer, if any.
+    #[inline]
+    pub fn outer(&self) -> Option<&Layer> {
+        self.layers.first()
+    }
+
+    /// Mutable access to the outermost layer.
+    #[inline]
+    pub fn outer_mut(&mut self) -> Option<&mut Layer> {
+        self.layers.first_mut()
+    }
+
+    /// Pushes a new outermost layer (encapsulation).
+    #[inline]
+    pub fn push_outer(&mut self, layer: Layer) {
+        self.layers.insert(0, layer);
+    }
+
+    /// Removes and returns the outermost layer (decapsulation).
+    #[inline]
+    pub fn pop_outer(&mut self) -> Option<Layer> {
+        if self.layers.is_empty() {
+            None
+        } else {
+            Some(self.layers.remove(0))
+        }
+    }
+
+    /// Total on-wire size in bytes: all layer headers plus the payload.
+    /// This is the size links charge when serializing the packet.
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        self.layers.iter().map(Layer::wire_len).sum::<usize>() + self.payload.len()
+    }
+
+    /// The outermost MPLS label entry, if the packet is currently labeled.
+    #[inline]
+    pub fn top_label(&self) -> Option<MplsLabel> {
+        match self.outer() {
+            Some(Layer::Mpls(l)) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Number of MPLS entries at the top of the stack.
+    pub fn label_depth(&self) -> usize {
+        self.layers.iter().take_while(|l| matches!(l, Layer::Mpls(_))).count()
+    }
+
+    /// The first (outermost) IPv4 header, skipping any MPLS/VC encapsulation.
+    pub fn outer_ipv4(&self) -> Option<&Ipv4Header> {
+        self.layers.iter().find_map(|l| match l {
+            Layer::Ipv4(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Mutable access to the first IPv4 header.
+    pub fn outer_ipv4_mut(&mut self) -> Option<&mut Ipv4Header> {
+        self.layers.iter_mut().find_map(|l| match l {
+            Layer::Ipv4(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// The innermost IPv4 header — the customer packet inside any tunnels.
+    /// Note this cannot see through ESP: an encrypted inner packet lives in
+    /// the payload and is *not* visible here, by design.
+    pub fn inner_ipv4(&self) -> Option<&Ipv4Header> {
+        self.layers.iter().rev().find_map(|l| match l {
+            Layer::Ipv4(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// The classification 5-tuple *as visible at this point in the network*:
+    /// computed from the outermost IPv4 header and the layer that follows
+    /// it. For an ESP packet this yields `protocol = 50` with zero ports —
+    /// exactly the information loss the paper describes (§3).
+    pub fn visible_five_tuple(&self) -> Option<FiveTuple> {
+        let idx = self.layers.iter().position(|l| matches!(l, Layer::Ipv4(_)))?;
+        let Layer::Ipv4(ip) = &self.layers[idx] else { unreachable!() };
+        let (src_port, dst_port) = match self.layers.get(idx + 1) {
+            Some(Layer::Udp(u)) => (u.src_port, u.dst_port),
+            Some(Layer::Tcp(t)) => (t.src_port, t.dst_port),
+            _ => (0, 0),
+        };
+        Some(FiveTuple { src: ip.src, dst: ip.dst, protocol: ip.protocol, src_port, dst_port })
+    }
+
+    /// The DSCP of the outermost IPv4 header, if any.
+    #[inline]
+    pub fn dscp(&self) -> Option<Dscp> {
+        self.outer_ipv4().map(|h| h.dscp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::ip;
+
+    fn sample() -> Packet {
+        Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 5000, 53, Dscp::EF, 100)
+    }
+
+    #[test]
+    fn udp_packet_shape() {
+        let p = sample();
+        assert_eq!(p.layers().len(), 2);
+        assert_eq!(p.wire_len(), 20 + 8 + 100);
+        assert_eq!(p.dscp(), Some(Dscp::EF));
+    }
+
+    #[test]
+    fn push_pop_label() {
+        let mut p = sample();
+        p.push_outer(Layer::Mpls(MplsLabel::new(100, 5, 64)));
+        p.push_outer(Layer::Mpls(MplsLabel::new(200, 5, 64)));
+        assert_eq!(p.label_depth(), 2);
+        assert_eq!(p.top_label().unwrap().label, 200);
+        assert_eq!(p.wire_len(), 8 + 20 + 8 + 100);
+        assert_eq!(p.pop_outer(), Some(Layer::Mpls(MplsLabel::new(200, 5, 64))));
+        assert_eq!(p.label_depth(), 1);
+    }
+
+    #[test]
+    fn five_tuple_sees_ports_without_tunnel() {
+        let p = sample();
+        let t = p.visible_five_tuple().unwrap();
+        assert_eq!(t.src_port, 5000);
+        assert_eq!(t.dst_port, 53);
+        assert_eq!(t.protocol, proto::UDP);
+    }
+
+    #[test]
+    fn five_tuple_blind_behind_esp() {
+        // Outer IP + ESP: the visible 5-tuple must not expose inner ports.
+        let p = Packet::new(
+            vec![
+                Layer::Ipv4(Ipv4Header::new(ip("1.1.1.1"), ip("2.2.2.2"), proto::ESP, Dscp::BE)),
+                Layer::Esp(EspHeader { spi: 7, seq: 1 }),
+            ],
+            Bytes::from(vec![0u8; 64]),
+        );
+        let t = p.visible_five_tuple().unwrap();
+        assert_eq!(t.protocol, proto::ESP);
+        assert_eq!((t.src_port, t.dst_port), (0, 0));
+    }
+
+    #[test]
+    fn inner_vs_outer_ipv4() {
+        let mut p = sample();
+        let inner_dst = p.inner_ipv4().unwrap().dst;
+        p.push_outer(Layer::Ipv4(Ipv4Header::new(
+            ip("100.0.0.1"),
+            ip("100.0.0.2"),
+            proto::IPIP,
+            Dscp::BE,
+        )));
+        assert_eq!(p.inner_ipv4().unwrap().dst, inner_dst);
+        assert_eq!(p.outer_ipv4().unwrap().dst, ip("100.0.0.2"));
+    }
+
+    #[test]
+    fn mpls_then_ipv4_outer_lookup_skips_labels() {
+        let mut p = sample();
+        p.push_outer(Layer::Mpls(MplsLabel::new(42, 0, 64)));
+        assert_eq!(p.outer_ipv4().unwrap().dst, ip("10.0.0.2"));
+        assert!(p.top_label().is_some());
+    }
+}

@@ -1,0 +1,328 @@
+//! Wire serialization for the packet model.
+//!
+//! A frame is a 2-byte ethertype followed by the layer headers and payload.
+//! The emulator needs real bytes in exactly three places: IPsec (which must
+//! encrypt a genuine serialization of the inner packet), byte-accurate link
+//! accounting, and the round-trip property tests; routers otherwise stay on
+//! the structured [`Packet`] form.
+
+use bytes::Bytes;
+
+use crate::addr::Ip;
+use crate::dscp::Dscp;
+use crate::error::NetError;
+use crate::fr::VcHeader;
+use crate::ip::{internet_checksum, proto, Ipv4Header, IPV4_HEADER_LEN};
+use crate::mpls::MplsLabel;
+use crate::packet::{EspHeader, Layer, Packet, ESP_HEADER_LEN};
+use crate::transport::{TcpHeader, UdpHeader, TCP_HEADER_LEN, UDP_HEADER_LEN};
+
+/// Ethertype for MPLS unicast.
+pub const ETHERTYPE_MPLS: u16 = 0x8847;
+/// Ethertype for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// Ethertype used by the emulator for the frame-relay-like VC encapsulation.
+pub const ETHERTYPE_VC: u16 = 0x6559;
+
+/// Serializes a packet to wire bytes (ethertype + headers + payload).
+///
+/// Returns an error if the layer stack is not encodable (e.g. a transport
+/// header with no IPv4 above it, or an MPLS stack whose payload is not IPv4).
+pub fn encode(pkt: &Packet) -> Result<Vec<u8>, NetError> {
+    let mut out = Vec::with_capacity(2 + pkt.wire_len());
+    let ethertype = match pkt.layers().first() {
+        Some(Layer::Mpls(_)) => ETHERTYPE_MPLS,
+        Some(Layer::Ipv4(_)) => ETHERTYPE_IPV4,
+        Some(Layer::Vc(_)) => ETHERTYPE_VC,
+        _ => return Err(NetError::bad_field("frame", "first layer", 0)),
+    };
+    out.extend_from_slice(&ethertype.to_be_bytes());
+
+    let layers = pkt.layers();
+    for (i, layer) in layers.iter().enumerate() {
+        // Bytes that will follow this layer's header on the wire.
+        let remaining: usize =
+            layers[i + 1..].iter().map(Layer::wire_len).sum::<usize>() + pkt.payload.len();
+        match layer {
+            Layer::Mpls(l) => {
+                let bos = !matches!(layers.get(i + 1), Some(Layer::Mpls(_)));
+                if bos && !matches!(layers.get(i + 1), Some(Layer::Ipv4(_))) {
+                    return Err(NetError::bad_field("mpls", "payload type", i as u64));
+                }
+                out.extend_from_slice(&l.encode(bos).to_be_bytes());
+            }
+            Layer::Ipv4(h) => encode_ipv4(&mut out, h, remaining),
+            Layer::Udp(u) => {
+                out.extend_from_slice(&u.src_port.to_be_bytes());
+                out.extend_from_slice(&u.dst_port.to_be_bytes());
+                let len = (UDP_HEADER_LEN + remaining) as u16;
+                out.extend_from_slice(&len.to_be_bytes());
+                out.extend_from_slice(&0u16.to_be_bytes()); // checksum unused
+            }
+            Layer::Tcp(t) => {
+                out.extend_from_slice(&t.src_port.to_be_bytes());
+                out.extend_from_slice(&t.dst_port.to_be_bytes());
+                out.extend_from_slice(&t.seq.to_be_bytes());
+                out.extend_from_slice(&t.ack.to_be_bytes());
+                out.push(5 << 4); // data offset, no options
+                out.push(t.flags);
+                out.extend_from_slice(&0xFFFFu16.to_be_bytes()); // window
+                out.extend_from_slice(&0u16.to_be_bytes()); // checksum unused
+                out.extend_from_slice(&0u16.to_be_bytes()); // urgent
+            }
+            Layer::Esp(e) => {
+                out.extend_from_slice(&e.spi.to_be_bytes());
+                out.extend_from_slice(&e.seq.to_be_bytes());
+            }
+            Layer::Vc(v) => {
+                if !matches!(layers.get(i + 1), Some(Layer::Ipv4(_))) {
+                    return Err(NetError::bad_field("vc", "payload type", i as u64));
+                }
+                out.extend_from_slice(&v.encode().to_be_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&pkt.payload);
+    Ok(out)
+}
+
+fn encode_ipv4(out: &mut Vec<u8>, h: &Ipv4Header, remaining: usize) {
+    let start = out.len();
+    out.push(0x45); // version 4, IHL 5
+    out.push(h.tos());
+    let total = (IPV4_HEADER_LEN + remaining) as u16;
+    out.extend_from_slice(&total.to_be_bytes());
+    out.extend_from_slice(&h.id.to_be_bytes());
+    out.extend_from_slice(&0x4000u16.to_be_bytes()); // DF, no fragments
+    out.push(h.ttl);
+    out.push(h.protocol);
+    out.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
+    out.extend_from_slice(&h.src.0.to_be_bytes());
+    out.extend_from_slice(&h.dst.0.to_be_bytes());
+    let ck = internet_checksum(&out[start..start + IPV4_HEADER_LEN]);
+    out[start + 10..start + 12].copy_from_slice(&ck.to_be_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], NetError> {
+        if self.buf.len() - self.pos < n {
+            return Err(NetError::truncated(what, n, self.buf.len() - self.pos));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, NetError> {
+        let s = self.take(2, what)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, NetError> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Parses wire bytes back into a structured packet. The returned packet has
+/// default (zeroed) simulation metadata.
+pub fn decode(buf: &[u8]) -> Result<Packet, NetError> {
+    let mut cur = Cursor { buf, pos: 0 };
+    let ethertype = cur.u16("ethertype")?;
+    let mut layers = Vec::with_capacity(4);
+    match ethertype {
+        ETHERTYPE_MPLS => {
+            loop {
+                let (entry, bos) = MplsLabel::decode(cur.u32("mpls entry")?);
+                layers.push(Layer::Mpls(entry));
+                if bos {
+                    break;
+                }
+            }
+            decode_ipv4_chain(&mut cur, &mut layers)?;
+        }
+        ETHERTYPE_IPV4 => decode_ipv4_chain(&mut cur, &mut layers)?,
+        ETHERTYPE_VC => {
+            layers.push(Layer::Vc(VcHeader::decode(cur.u32("vc header")?)));
+            decode_ipv4_chain(&mut cur, &mut layers)?;
+        }
+        other => return Err(NetError::UnknownProtocol(other)),
+    }
+    let payload = Bytes::copy_from_slice(&cur.buf[cur.pos..]);
+    Ok(Packet::new(layers, payload))
+}
+
+fn decode_ipv4_chain(cur: &mut Cursor<'_>, layers: &mut Vec<Layer>) -> Result<(), NetError> {
+    let start = cur.pos;
+    let hdr = cur.take(IPV4_HEADER_LEN, "ipv4 header")?;
+    if hdr[0] != 0x45 {
+        return Err(NetError::bad_field("ipv4", "version/ihl", u64::from(hdr[0])));
+    }
+    if internet_checksum(hdr) != 0 {
+        return Err(NetError::BadChecksum);
+    }
+    let tos = hdr[1];
+    let total_len = usize::from(u16::from_be_bytes([hdr[2], hdr[3]]));
+    let id = u16::from_be_bytes([hdr[4], hdr[5]]);
+    let ttl = hdr[8];
+    let protocol = hdr[9];
+    let src = Ip(u32::from_be_bytes([hdr[12], hdr[13], hdr[14], hdr[15]]));
+    let dst = Ip(u32::from_be_bytes([hdr[16], hdr[17], hdr[18], hdr[19]]));
+    let body_len = cur.buf.len() - start;
+    if total_len != body_len {
+        return Err(NetError::bad_field("ipv4", "total length", total_len as u64));
+    }
+    layers.push(Layer::Ipv4(Ipv4Header {
+        src,
+        dst,
+        dscp: Dscp::new(tos >> 2),
+        ecn: tos & 0x3,
+        ttl,
+        protocol,
+        id,
+    }));
+    match protocol {
+        proto::UDP => {
+            let u = cur.take(UDP_HEADER_LEN, "udp header")?;
+            let len = usize::from(u16::from_be_bytes([u[4], u[5]]));
+            if len != UDP_HEADER_LEN + cur.remaining() {
+                return Err(NetError::bad_field("udp", "length", len as u64));
+            }
+            layers.push(Layer::Udp(UdpHeader {
+                src_port: u16::from_be_bytes([u[0], u[1]]),
+                dst_port: u16::from_be_bytes([u[2], u[3]]),
+            }));
+        }
+        proto::TCP => {
+            let t = cur.take(TCP_HEADER_LEN, "tcp header")?;
+            if t[12] >> 4 != 5 {
+                return Err(NetError::bad_field("tcp", "data offset", u64::from(t[12] >> 4)));
+            }
+            layers.push(Layer::Tcp(TcpHeader {
+                src_port: u16::from_be_bytes([t[0], t[1]]),
+                dst_port: u16::from_be_bytes([t[2], t[3]]),
+                seq: u32::from_be_bytes([t[4], t[5], t[6], t[7]]),
+                ack: u32::from_be_bytes([t[8], t[9], t[10], t[11]]),
+                flags: t[13],
+            }));
+        }
+        proto::ESP => {
+            let e = cur.take(ESP_HEADER_LEN, "esp header")?;
+            layers.push(Layer::Esp(EspHeader {
+                spi: u32::from_be_bytes([e[0], e[1], e[2], e[3]]),
+                seq: u32::from_be_bytes([e[4], e[5], e[6], e[7]]),
+            }));
+        }
+        proto::IPIP => decode_ipv4_chain(cur, layers)?,
+        // CONTROL and anything else: the rest of the frame is opaque payload.
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::ip;
+
+    fn assert_roundtrip(p: &Packet) {
+        let bytes = encode(p).expect("encode");
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back.layers(), p.layers());
+        assert_eq!(back.payload, p.payload);
+        assert_eq!(bytes.len(), 2 + p.wire_len());
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        assert_roundtrip(&Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1234, 80, Dscp::AF21, 37));
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        assert_roundtrip(&Packet::tcp(ip("10.0.0.1"), ip("10.9.0.2"), 99, 443, Dscp::BE, 7, 1400));
+    }
+
+    #[test]
+    fn labeled_roundtrip() {
+        let mut p = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::EF, 10);
+        p.push_outer(Layer::Mpls(MplsLabel::new(9000, 5, 60)));
+        p.push_outer(Layer::Mpls(MplsLabel::new(17, 5, 61)));
+        assert_roundtrip(&p);
+    }
+
+    #[test]
+    fn esp_roundtrip() {
+        let p = Packet::new(
+            vec![
+                Layer::Ipv4(Ipv4Header::new(ip("1.1.1.1"), ip("2.2.2.2"), proto::ESP, Dscp::BE)),
+                Layer::Esp(EspHeader { spi: 0xDEAD, seq: 42 }),
+            ],
+            Bytes::from(vec![1u8; 48]),
+        );
+        assert_roundtrip(&p);
+    }
+
+    #[test]
+    fn ipip_roundtrip() {
+        let mut p = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::AF11, 5);
+        p.push_outer(Layer::Ipv4(Ipv4Header::new(
+            ip("100.0.0.1"),
+            ip("100.0.0.2"),
+            proto::IPIP,
+            Dscp::AF11,
+        )));
+        assert_roundtrip(&p);
+    }
+
+    #[test]
+    fn vc_roundtrip() {
+        let mut p = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, 5);
+        p.push_outer(Layer::Vc(VcHeader::new(77, true)));
+        assert_roundtrip(&p);
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected() {
+        let p = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, 5);
+        let mut bytes = encode(&p).unwrap();
+        bytes[2 + 14] ^= 0xFF; // flip a source-address byte
+        assert_eq!(decode(&bytes), Err(NetError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let p = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, 5);
+        let bytes = encode(&p).unwrap();
+        assert!(matches!(decode(&bytes[..10]), Err(NetError::Truncated { .. })));
+        assert!(matches!(decode(&bytes[..1]), Err(NetError::Truncated { .. })));
+    }
+
+    #[test]
+    fn unknown_ethertype_rejected() {
+        assert_eq!(decode(&[0x12, 0x34, 0, 0]), Err(NetError::UnknownProtocol(0x1234)));
+    }
+
+    #[test]
+    fn transport_first_layer_unencodable() {
+        let p = Packet::new(vec![Layer::Udp(UdpHeader::new(1, 2))], Bytes::new());
+        assert!(encode(&p).is_err());
+    }
+
+    #[test]
+    fn inconsistent_total_length_rejected() {
+        let p = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, 5);
+        let mut bytes = encode(&p).unwrap();
+        bytes.push(0); // trailing garbage makes total_len inconsistent
+        assert!(matches!(decode(&bytes), Err(NetError::BadField { .. })));
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the packet substrate: wire round-trips, prefix
+//! algebra, and LPM trie correctness against a naive model.
+
+use bytes::Bytes;
+use netsim_net::ip::proto;
+use netsim_net::packet::EspHeader;
+use netsim_net::transport::{TcpHeader, UdpHeader};
+use netsim_net::wire::{decode, encode};
+use netsim_net::{Dscp, Ip, Ipv4Header, Layer, LpmTrie, MplsLabel, Packet, Prefix, VcHeader};
+use proptest::prelude::*;
+
+fn arb_ip() -> impl Strategy<Value = Ip> {
+    any::<u32>().prop_map(Ip)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(Ip(a), l))
+}
+
+fn arb_dscp() -> impl Strategy<Value = Dscp> {
+    (0u8..64).prop_map(Dscp::new)
+}
+
+fn arb_payload() -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..256).prop_map(Bytes::from)
+}
+
+/// Generates structurally valid packets: optional MPLS stack and/or outer VC,
+/// an IPv4 chain (possibly IP-in-IP), and a transport or ESP tail.
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    let transport = prop_oneof![
+        (any::<u16>(), any::<u16>()).prop_map(|(s, d)| (proto::UDP, Some(Layer::Udp(UdpHeader::new(s, d))))),
+        (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>(), any::<u8>()).prop_map(
+            |(s, d, seq, ack, flags)| {
+                (proto::TCP, Some(Layer::Tcp(TcpHeader { src_port: s, dst_port: d, seq, ack, flags })))
+            }
+        ),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(spi, seq)| (proto::ESP, Some(Layer::Esp(EspHeader { spi, seq })))),
+        Just((proto::CONTROL, None)),
+    ];
+    (
+        arb_ip(),
+        arb_ip(),
+        arb_dscp(),
+        1u8..=255,
+        transport,
+        arb_payload(),
+        proptest::collection::vec((0u32..(1 << 20), 0u8..8, 1u8..=255), 0..4),
+        proptest::option::of((0u32..(1 << 22), any::<bool>())),
+        proptest::option::of((arb_ip(), arb_ip(), arb_dscp())),
+    )
+        .prop_map(|(src, dst, dscp, ttl, (pr, tl), payload, labels, vc, outer_ip)| {
+            let mut ip_hdr = Ipv4Header::new(src, dst, pr, dscp);
+            ip_hdr.ttl = ttl;
+            let mut layers = vec![Layer::Ipv4(ip_hdr)];
+            if let Some(l) = tl {
+                layers.push(l);
+            }
+            if let Some((osrc, odst, odscp)) = outer_ip {
+                layers.insert(0, Layer::Ipv4(Ipv4Header::new(osrc, odst, proto::IPIP, odscp)));
+            }
+            let mut pkt = Packet::new(layers, payload);
+            if let Some((vcid, de)) = vc {
+                pkt.push_outer(Layer::Vc(VcHeader::new(vcid, de)));
+            } else {
+                for (label, exp, lttl) in labels {
+                    pkt.push_outer(Layer::Mpls(MplsLabel::new(label, exp, lttl)));
+                }
+            }
+            pkt
+        })
+}
+
+proptest! {
+    #[test]
+    fn wire_roundtrip(pkt in arb_packet()) {
+        let bytes = encode(&pkt).expect("valid generated packet must encode");
+        prop_assert_eq!(bytes.len(), 2 + pkt.wire_len());
+        let back = decode(&bytes).expect("encoded packet must decode");
+        prop_assert_eq!(back.layers(), pkt.layers());
+        prop_assert_eq!(back.payload, pkt.payload);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(buf in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode(&buf);
+    }
+
+    #[test]
+    fn decode_never_panics_on_corrupted_valid(pkt in arb_packet(), flip in 0usize..64, bit in 0u8..8) {
+        let mut bytes = encode(&pkt).unwrap();
+        let idx = flip % bytes.len().max(1);
+        if idx < bytes.len() {
+            bytes[idx] ^= 1 << bit;
+        }
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn prefix_contains_matches_mask_math(p in arb_prefix(), a in arb_ip()) {
+        let expected = p.len() == 0 || (a.0 ^ p.addr().0) >> (32 - u32::from(p.len())) == 0;
+        prop_assert_eq!(p.contains(a), expected);
+    }
+
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        prop_assert_eq!(s.parse::<Prefix>().unwrap(), p);
+    }
+
+    #[test]
+    fn prefix_overlap_is_symmetric_and_containment_implies_overlap(a in arb_prefix(), b in arb_prefix()) {
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+        if a.contains(b.addr()) || b.contains(a.addr()) {
+            prop_assert!(a.overlaps(b));
+        }
+    }
+
+    /// The trie must agree with a naive "scan all prefixes, keep the longest
+    /// match" model, for both present and absent addresses.
+    #[test]
+    fn lpm_matches_naive_model(
+        entries in proptest::collection::vec((arb_prefix(), any::<u16>()), 0..64),
+        queries in proptest::collection::vec(arb_ip(), 0..32),
+    ) {
+        let mut trie = LpmTrie::new();
+        // Later inserts win for duplicate prefixes, like the model below.
+        let mut model: Vec<(Prefix, u16)> = Vec::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+            model.retain(|(q, _)| q != p);
+            model.push((*p, *v));
+        }
+        prop_assert_eq!(trie.len(), model.len());
+        for q in queries {
+            let want = model
+                .iter()
+                .filter(|(p, _)| p.contains(q))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(_, v)| *v);
+            prop_assert_eq!(trie.lookup(q).copied(), want);
+        }
+    }
+
+    /// Insert-then-remove leaves lookups as if the entry never existed.
+    #[test]
+    fn lpm_remove_restores(
+        base in proptest::collection::vec((arb_prefix(), any::<u16>()), 0..32),
+        extra in arb_prefix(),
+        queries in proptest::collection::vec(arb_ip(), 0..16),
+    ) {
+        let mut reference = LpmTrie::new();
+        for (p, v) in &base {
+            reference.insert(*p, *v);
+        }
+        let mut subject = LpmTrie::new();
+        for (p, v) in &base {
+            subject.insert(*p, *v);
+        }
+        let displaced = subject.insert(extra, 0xFFFF);
+        let removed = subject.remove(extra);
+        prop_assert_eq!(removed, Some(0xFFFF));
+        if let Some(old) = displaced {
+            subject.insert(extra, old);
+        }
+        for q in queries {
+            prop_assert_eq!(subject.lookup(q), reference.lookup(q));
+        }
+    }
+
+    #[test]
+    fn lpm_iter_roundtrip(entries in proptest::collection::vec((arb_prefix(), any::<u16>()), 0..48)) {
+        let mut trie = LpmTrie::new();
+        let mut model: Vec<(Prefix, u16)> = Vec::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+            model.retain(|(q, _)| q != p);
+            model.push((*p, *v));
+        }
+        let mut got: Vec<(Prefix, u16)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        got.sort();
+        model.sort();
+        prop_assert_eq!(got, model);
+    }
+
+    #[test]
+    fn mpls_entry_wire_roundtrip(label in 0u32..(1 << 20), exp in 0u8..8, ttl in any::<u8>(), bos in any::<bool>()) {
+        let e = MplsLabel::new(label, exp, ttl);
+        let (d, b) = MplsLabel::decode(e.encode(bos));
+        prop_assert_eq!(d, e);
+        prop_assert_eq!(b, bos);
+    }
+
+    #[test]
+    fn checksum_self_verifies(data in proptest::collection::vec(any::<u8>(), 2..64)) {
+        use netsim_net::ip::internet_checksum;
+        let mut d = data;
+        // Zero a 16-bit checksum slot, compute, insert, verify sums to zero.
+        d[0] = 0;
+        d[1] = 0;
+        let ck = internet_checksum(&d);
+        d[0] = (ck >> 8) as u8;
+        d[1] = (ck & 0xFF) as u8;
+        // RFC 1071: a message with a correct checksum folds to 0 or 0xFFFF is not possible here
+        prop_assert_eq!(internet_checksum(&d), 0);
+    }
+}

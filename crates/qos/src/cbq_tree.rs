@@ -1,0 +1,354 @@
+//! Hierarchical CBQ: Floyd & Van Jacobson's link-sharing class tree.
+//!
+//! The paper's CPE "could use technologies such as CBQ to classify
+//! traffic" (§5). The flat [`crate::CbqScheduler`] covers per-class rates;
+//! this discipline adds the *hierarchy*: an organization buys a bounded
+//! share of the link, divides it among departments, and departments'
+//! traffic classes borrow unused capacity from their own organization
+//! before anyone else sees it.
+//!
+//! Semantics (simplified from the formal link-sharing guidelines, but
+//! faithful in effect):
+//!
+//! * Every node has a rate. **Bounded** nodes are hard caps: traffic under
+//!   them never exceeds their rate. Unbounded nodes are *targets*: they
+//!   gate only the in-profile pass, so their subtree can borrow idle
+//!   capacity.
+//! * Pass 1 (in-profile, round-robin): a leaf may send if every node on
+//!   its root path has tokens.
+//! * Pass 2 (borrowing, round-robin): a leaf may send if every **bounded**
+//!   node on its root path has tokens.
+//! * Non-work-conserving when every eligible leaf is gated by a bounded
+//!   ancestor — the link retries at [`QueueDiscipline::next_ready`].
+
+use std::collections::VecDeque;
+
+use netsim_net::Packet;
+
+use crate::meter::TokenBucket;
+use crate::queue::{ClassOf, EnqueueOutcome, QueueDiscipline};
+use crate::{Nanos, SEC};
+
+/// Configuration of one node in the class tree.
+#[derive(Clone, Debug)]
+pub struct CbqNodeConfig {
+    /// Parent node index; `None` for the root. Parents must be declared
+    /// before children (indices ascend toward the leaves).
+    pub parent: Option<usize>,
+    /// The node's rate, bits/s.
+    pub rate_bps: u64,
+    /// Hard cap: the subtree may never exceed `rate_bps`.
+    pub bounded: bool,
+    /// Leaf buffer capacity in bytes (ignored for interior nodes).
+    pub cap_bytes: usize,
+}
+
+struct TreeNode {
+    cfg: CbqNodeConfig,
+    bucket: TokenBucket,
+    /// Queue, present only on leaves.
+    q: Option<VecDeque<Packet>>,
+    bytes: usize,
+    drops: u64,
+}
+
+/// The hierarchical CBQ discipline. Packets are classified to *leaves* by
+/// `class_of` (leaf ordinal in declaration order).
+pub struct HierCbq {
+    nodes: Vec<TreeNode>,
+    /// Node indices of the leaves, in declaration order.
+    leaves: Vec<usize>,
+    class_of: ClassOf,
+    rr: usize,
+}
+
+impl HierCbq {
+    /// Builds the tree.
+    ///
+    /// # Panics
+    /// Panics if a parent index is not smaller than its child's, or if the
+    /// tree has no leaves.
+    pub fn new(configs: Vec<CbqNodeConfig>, class_of: ClassOf) -> Self {
+        assert!(!configs.is_empty(), "CBQ tree needs nodes");
+        let mut has_child = vec![false; configs.len()];
+        for (i, c) in configs.iter().enumerate() {
+            if let Some(p) = c.parent {
+                assert!(p < i, "parent {p} must be declared before child {i}");
+                has_child[p] = true;
+            } else {
+                assert_eq!(i, 0, "only node 0 may be the root");
+            }
+        }
+        let nodes: Vec<TreeNode> = configs
+            .into_iter()
+            .map(|cfg| {
+                let burst = (cfg.rate_bps / 80).max(3200);
+                TreeNode {
+                    bucket: TokenBucket::new(cfg.rate_bps, burst),
+                    cfg,
+                    q: None,
+                    bytes: 0,
+                    drops: 0,
+                }
+            })
+            .collect();
+        let mut me = HierCbq { nodes, leaves: Vec::new(), class_of, rr: 0 };
+        for (i, leaf) in has_child.iter().enumerate() {
+            if !leaf {
+                me.nodes[i].q = Some(VecDeque::new());
+                me.leaves.push(i);
+            }
+        }
+        assert!(!me.leaves.is_empty(), "CBQ tree needs at least one leaf");
+        me
+    }
+
+    /// Drops per leaf, in leaf order.
+    pub fn drops(&self) -> Vec<u64> {
+        self.leaves.iter().map(|&i| self.nodes[i].drops).collect()
+    }
+
+    fn path_of(&self, mut node: usize) -> Vec<usize> {
+        let mut path = vec![node];
+        while let Some(p) = self.nodes[node].cfg.parent {
+            path.push(p);
+            node = p;
+        }
+        path
+    }
+
+    /// Whether every node in `path` (filtered by `only_bounded`) can cover
+    /// `bytes` at `now`; if yes, charges all of them and returns true.
+    fn try_charge(&mut self, path: &[usize], bytes: usize, now: Nanos, only_bounded: bool) -> bool {
+        // Check first (level_bytes refills as a side effect, which is fine).
+        for &n in path {
+            let gate = !only_bounded || self.nodes[n].cfg.bounded;
+            if gate && (self.nodes[n].bucket.level_bytes(now) as usize) < bytes {
+                return false;
+            }
+        }
+        for &n in path {
+            // Charge every node that can pay (hierarchical accounting);
+            // nodes that can't are borrowers' victims and simply stay empty.
+            self.nodes[n].bucket.conforms(bytes, now);
+        }
+        true
+    }
+
+    fn try_pass(&mut self, now: Nanos, only_bounded: bool) -> Option<Packet> {
+        let n_leaves = self.leaves.len();
+        for off in 0..n_leaves {
+            let li = (self.rr + off) % n_leaves;
+            let leaf = self.leaves[li];
+            let head_len = match self.nodes[leaf].q.as_ref().and_then(|q| q.front()) {
+                Some(p) => p.wire_len(),
+                None => continue,
+            };
+            let path = self.path_of(leaf);
+            if self.try_charge(&path, head_len, now, only_bounded) {
+                let node = &mut self.nodes[leaf];
+                let pkt = node.q.as_mut().expect("leaf").pop_front().expect("head");
+                node.bytes -= head_len;
+                self.rr = (li + 1) % n_leaves;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+}
+
+impl QueueDiscipline for HierCbq {
+    fn enqueue(&mut self, pkt: Packet, _now: Nanos) -> EnqueueOutcome {
+        let li = (self.class_of)(&pkt).min(self.leaves.len() - 1);
+        let leaf = self.leaves[li];
+        let node = &mut self.nodes[leaf];
+        let sz = pkt.wire_len();
+        if node.bytes + sz > node.cfg.cap_bytes {
+            node.drops += 1;
+            return EnqueueOutcome::Dropped(pkt);
+        }
+        node.bytes += sz;
+        node.q.as_mut().expect("leaf").push_back(pkt);
+        EnqueueOutcome::Queued
+    }
+
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        // In-profile leaves first, then borrowers (gated by bounded
+        // ancestors only).
+        self.try_pass(now, false).or_else(|| self.try_pass(now, true))
+    }
+
+    fn len_packets(&self) -> usize {
+        self.leaves.iter().map(|&i| self.nodes[i].q.as_ref().map_or(0, VecDeque::len)).sum()
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.leaves.iter().map(|&i| self.nodes[i].bytes).sum()
+    }
+
+    fn next_ready(&self, now: Nanos) -> Option<Nanos> {
+        let mut earliest: Option<Nanos> = None;
+        for &leaf in &self.leaves {
+            let Some(head) = self.nodes[leaf].q.as_ref().and_then(|q| q.front()) else {
+                continue;
+            };
+            let need = head.wire_len();
+            // Wait until the slowest bounded gate on the path can cover the
+            // head (conservative: rate-based estimate from zero tokens).
+            let mut wait = 1u64; // borrowers with no bounded gate: ~now
+            let mut node = leaf;
+            loop {
+                let n = &self.nodes[node];
+                if n.cfg.bounded {
+                    let w = (need as u128 * 8 * SEC as u128 / n.cfg.rate_bps as u128) as Nanos;
+                    wait = wait.max(w);
+                }
+                match n.cfg.parent {
+                    Some(p) => node = p,
+                    None => break,
+                }
+            }
+            let t = now + wait;
+            earliest = Some(earliest.map_or(t, |e: Nanos| e.min(t)));
+        }
+        earliest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_net::addr::ip;
+    use netsim_net::Dscp;
+
+    fn pkt(class: u64, payload: usize) -> Packet {
+        let mut p = Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, payload);
+        p.meta.flow = class;
+        p
+    }
+
+    fn by_flow() -> ClassOf {
+        Box::new(|p: &Packet| p.meta.flow as usize)
+    }
+
+    /// Root(10M, bounded) ── orgA(6M, bounded) ── {voiceA(2M), dataA(4M)}
+    ///                    └─ orgB(4M, bounded) ── {dataB(4M)}
+    fn two_orgs() -> HierCbq {
+        let m = 1_000_000u64;
+        HierCbq::new(
+            vec![
+                CbqNodeConfig { parent: None, rate_bps: 10 * m, bounded: true, cap_bytes: 0 },
+                CbqNodeConfig { parent: Some(0), rate_bps: 6 * m, bounded: true, cap_bytes: 0 },
+                CbqNodeConfig { parent: Some(0), rate_bps: 4 * m, bounded: true, cap_bytes: 0 },
+                CbqNodeConfig { parent: Some(1), rate_bps: 2 * m, bounded: false, cap_bytes: 1 << 22 },
+                CbqNodeConfig { parent: Some(1), rate_bps: 4 * m, bounded: false, cap_bytes: 1 << 22 },
+                CbqNodeConfig { parent: Some(2), rate_bps: 4 * m, bounded: false, cap_bytes: 1 << 22 },
+            ],
+            by_flow(),
+        )
+    }
+
+    /// Drains with the link-retry loop for `dur` ns; returns bytes per leaf.
+    fn drain(q: &mut HierCbq, dur: Nanos) -> Vec<u64> {
+        let mut out = vec![0u64; 3];
+        let mut now = 0u64;
+        while now < dur {
+            match q.dequeue(now) {
+                Some(p) => out[p.meta.flow as usize] += p.wire_len() as u64,
+                None => match q.next_ready(now) {
+                    Some(t) if t > now => now = t.min(dur),
+                    _ => break,
+                },
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn org_shares_hold_when_all_backlogged() {
+        let mut q = two_orgs();
+        for _ in 0..6000 {
+            q.enqueue(pkt(0, 972), 0); // voiceA
+            q.enqueue(pkt(1, 972), 0); // dataA
+            q.enqueue(pkt(2, 972), 0); // dataB
+        }
+        let bytes = drain(&mut q, SEC);
+        let org_a = bytes[0] + bytes[1];
+        let org_b = bytes[2];
+        // OrgA ≈ 6 Mb/s = 750 kB, orgB ≈ 4 Mb/s = 500 kB (±burst slack).
+        assert!((650_000..=900_000).contains(&org_a), "orgA {org_a}");
+        assert!((420_000..=620_000).contains(&org_b), "orgB {org_b}");
+        // Within orgA, data gets about twice voice's share.
+        let ratio = bytes[1] as f64 / bytes[0] as f64;
+        assert!((1.4..=2.8).contains(&ratio), "intra-org ratio {ratio}");
+    }
+
+    /// When dataA goes idle, voiceA borrows the whole org allowance — but
+    /// never exceeds the bounded org cap.
+    #[test]
+    fn child_borrows_within_its_organization() {
+        let mut q = two_orgs();
+        for _ in 0..6000 {
+            q.enqueue(pkt(0, 972), 0); // voiceA only (rate 2M, org 6M)
+            q.enqueue(pkt(2, 972), 0); // dataB keeps orgB busy
+        }
+        let bytes = drain(&mut q, SEC);
+        // voiceA borrowed up to orgA's 6 Mb/s ≈ 750 kB.
+        assert!(bytes[0] > 600_000, "voiceA should borrow org idle: {}", bytes[0]);
+        assert!(bytes[0] < 950_000, "but never past the bounded org cap: {}", bytes[0]);
+        assert_eq!(bytes[1], 0);
+    }
+
+    /// A bounded organization cannot borrow from the other organization,
+    /// even when the link is otherwise idle.
+    #[test]
+    fn bounded_org_cannot_poach_idle_link() {
+        let mut q = two_orgs();
+        for _ in 0..6000 {
+            q.enqueue(pkt(2, 972), 0); // only orgB has traffic
+        }
+        let bytes = drain(&mut q, SEC);
+        // OrgB stays at its 4 Mb/s cap ≈ 500 kB despite 10 Mb/s idle link.
+        assert!((400_000..=650_000).contains(&bytes[2]), "orgB {}", bytes[2]);
+    }
+
+    #[test]
+    fn conservation_and_buffer_caps() {
+        let mut q = HierCbq::new(
+            vec![
+                CbqNodeConfig { parent: None, rate_bps: 1_000_000, bounded: true, cap_bytes: 0 },
+                CbqNodeConfig { parent: Some(0), rate_bps: 1_000_000, bounded: false, cap_bytes: 2000 },
+            ],
+            Box::new(|_| 0),
+        );
+        let mut queued = 0;
+        for _ in 0..10 {
+            if q.enqueue(pkt(0, 972), 0).is_queued() {
+                queued += 1;
+            }
+        }
+        assert_eq!(queued, 2, "1000 B wire each against a 2000 B leaf cap");
+        assert_eq!(q.drops(), vec![8]);
+        let mut got = 0;
+        let mut now = 0;
+        while !q.is_empty() {
+            match q.dequeue(now) {
+                Some(_) => got += 1,
+                None => now = q.next_ready(now).expect("backlogged"),
+            }
+        }
+        assert_eq!(got, queued);
+    }
+
+    #[test]
+    #[should_panic(expected = "parent 2 must be declared before child")]
+    fn rejects_forward_parent_reference() {
+        HierCbq::new(
+            vec![
+                CbqNodeConfig { parent: None, rate_bps: 1, bounded: false, cap_bytes: 0 },
+                CbqNodeConfig { parent: Some(2), rate_bps: 1, bounded: false, cap_bytes: 1 },
+            ],
+            Box::new(|_| 0),
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! # netsim-qos — DiffServ building blocks
+//!
+//! Everything the paper's end-to-end QoS pipeline (§5) needs, as composable
+//! pieces:
+//!
+//! * **Classification & marking** ([`classify`]): rule-based 5-tuple
+//!   classifiers used at the customer premises to set DSCP — and which go
+//!   blind behind IPsec, reproducing §3's observation.
+//! * **PHBs and the DSCP↔EXP mapping** ([`phb`]): how the provider edge maps
+//!   the CPE's DiffServ marking into "the QoS field of the MPLS header".
+//! * **Metering** ([`meter`]): token bucket and srTCM (RFC 2697) for edge
+//!   policing.
+//! * **Active queue management** ([`red`]): RED and per-precedence WRED.
+//! * **Schedulers** ([`sched`]): FIFO, strict priority, WFQ, DRR and a CBQ
+//!   emulation, all behind one [`QueueDiscipline`] trait so any of them can
+//!   be attached to any simulated link egress.
+//!
+//! Time is a bare `u64` nanosecond count ([`Nanos`]); this crate never owns
+//! a clock — the simulator passes `now` in.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim_net::{Dscp, Packet};
+//! use netsim_qos::{queue::class_by_exp_or_dscp, FifoQueue, PriorityScheduler, QueueDiscipline};
+//!
+//! // An 8-band strict-priority scheduler keyed on EXP/DSCP class.
+//! let bands: Vec<Box<dyn QueueDiscipline>> =
+//!     (0..8).map(|_| Box::new(FifoQueue::new(64 * 1024)) as Box<dyn QueueDiscipline>).collect();
+//! let mut sched = PriorityScheduler::new(bands, class_by_exp_or_dscp());
+//!
+//! let src = "10.0.0.1".parse().unwrap();
+//! let dst = "10.0.0.2".parse().unwrap();
+//! sched.enqueue(Packet::udp(src, dst, 1, 2, Dscp::BE, 100), 0);
+//! sched.enqueue(Packet::udp(src, dst, 1, 2, Dscp::EF, 100), 0);
+//!
+//! // EF (class 5) outranks best effort.
+//! assert_eq!(sched.dequeue(0).unwrap().dscp(), Some(Dscp::EF));
+//! assert_eq!(sched.dequeue(0).unwrap().dscp(), Some(Dscp::BE));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cbq_tree;
+pub mod classify;
+pub mod meter;
+pub mod phb;
+pub mod queue;
+pub mod red;
+pub mod sched;
+pub mod shaper;
+
+pub use cbq_tree::{CbqNodeConfig, HierCbq};
+pub use classify::{MarkingPolicy, MatchRule};
+pub use meter::{Color, SrTcm, TokenBucket, TrTcm};
+pub use shaper::ShapedQueue;
+pub use phb::{ExpMap, Phb};
+pub use queue::{ClassOf, EnqueueOutcome, FifoQueue, QueueDiscipline};
+pub use red::{RedParams, RedQueue, WredQueue};
+pub use sched::{CbqScheduler, DrrScheduler, PriorityScheduler, WfqScheduler};
+
+/// Simulation time in nanoseconds.
+pub type Nanos = u64;
+
+/// Nanoseconds per second.
+pub const SEC: Nanos = 1_000_000_000;
+
+/// Nanoseconds per millisecond.
+pub const MSEC: Nanos = 1_000_000;
+
+/// Converts a byte count and a rate in bits/s to a duration in nanoseconds.
+#[inline]
+pub fn tx_time(bytes: usize, rate_bps: u64) -> Nanos {
+    debug_assert!(rate_bps > 0, "link rate must be positive");
+    (bytes as u128 * 8 * SEC as u128 / rate_bps as u128) as Nanos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_basics() {
+        // 1250 bytes at 10 Mb/s = 1 ms.
+        assert_eq!(tx_time(1250, 10_000_000), MSEC);
+        // 1 byte at 1 Gb/s = 8 ns.
+        assert_eq!(tx_time(1, 1_000_000_000), 8);
+        assert_eq!(tx_time(0, 1_000_000), 0);
+    }
+}

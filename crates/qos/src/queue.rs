@@ -1,0 +1,217 @@
+//! The queueing-discipline abstraction and the basic tail-drop FIFO.
+//!
+//! Every simulated link egress owns one `Box<dyn QueueDiscipline>`; the
+//! simulator enqueues on arrival and dequeues when the transmitter goes
+//! idle. All QoS experiments reduce to swapping the discipline attached to
+//! the bottleneck link.
+
+use netsim_net::Packet;
+
+use crate::Nanos;
+
+/// Result of an enqueue attempt.
+#[derive(Debug)]
+pub enum EnqueueOutcome {
+    /// The packet was accepted.
+    Queued,
+    /// The packet was dropped (returned for loss accounting).
+    Dropped(Packet),
+}
+
+impl EnqueueOutcome {
+    /// Whether the packet was accepted.
+    pub fn is_queued(&self) -> bool {
+        matches!(self, EnqueueOutcome::Queued)
+    }
+}
+
+/// A queueing discipline: the scheduler + buffer attached to a link egress.
+pub trait QueueDiscipline: Send {
+    /// Offers a packet at time `now`.
+    fn enqueue(&mut self, pkt: Packet, now: Nanos) -> EnqueueOutcome;
+
+    /// Takes the next packet to transmit at time `now`, if any.
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet>;
+
+    /// Packets currently buffered.
+    fn len_packets(&self) -> usize;
+
+    /// Bytes currently buffered.
+    fn len_bytes(&self) -> usize;
+
+    /// Whether the discipline holds no packets.
+    fn is_empty(&self) -> bool {
+        self.len_packets() == 0
+    }
+
+    /// Wire length of the packet the next `dequeue` would return, when the
+    /// discipline can cheaply know it (simple FIFOs can; classful
+    /// schedulers may return `None`). Used by wrappers like
+    /// [`crate::ShapedQueue`] to budget tokens exactly.
+    fn peek_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// When the discipline could next hand out a packet.
+    ///
+    /// Work-conserving disciplines return `Some(now)` whenever they hold
+    /// packets. Non-work-conserving ones (shapers, CBQ bounded classes) may
+    /// return a later time: the link must retry `dequeue` then rather than
+    /// going idle. `None` means "nothing buffered".
+    fn next_ready(&self, now: Nanos) -> Option<Nanos> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+}
+
+/// Maps a packet to a class index for classful disciplines (priority bands,
+/// WFQ/DRR/CBQ classes, WRED precedence levels).
+pub type ClassOf = Box<dyn Fn(&Packet) -> usize + Send>;
+
+/// Class selector: the MPLS EXP field of the top label (0 when unlabeled).
+/// This is what P routers in the backbone schedule on.
+pub fn class_by_exp() -> ClassOf {
+    Box::new(|p: &Packet| p.top_label().map_or(0, |l| usize::from(l.exp)))
+}
+
+/// Class selector: the EXP of the top label if labeled, else the EXP the
+/// default [`crate::ExpMap`] would assign from the IP DSCP. Lets one
+/// scheduler serve both labeled core traffic and unlabeled edge traffic.
+pub fn class_by_exp_or_dscp() -> ClassOf {
+    let map = crate::ExpMap::default();
+    Box::new(move |p: &Packet| {
+        if let Some(l) = p.top_label() {
+            usize::from(l.exp)
+        } else {
+            p.dscp().map_or(0, |d| usize::from(map.exp_of(d)))
+        }
+    })
+}
+
+/// A FIFO with tail drop, bounded by bytes (the common router buffer model).
+pub struct FifoQueue {
+    q: std::collections::VecDeque<Packet>,
+    bytes: usize,
+    cap_bytes: usize,
+    drops: u64,
+}
+
+impl FifoQueue {
+    /// Creates a FIFO holding at most `cap_bytes` of packet data.
+    pub fn new(cap_bytes: usize) -> Self {
+        FifoQueue { q: std::collections::VecDeque::new(), bytes: 0, cap_bytes, drops: 0 }
+    }
+
+    /// Total packets tail-dropped so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+impl QueueDiscipline for FifoQueue {
+    fn enqueue(&mut self, pkt: Packet, _now: Nanos) -> EnqueueOutcome {
+        let sz = pkt.wire_len();
+        if self.bytes + sz > self.cap_bytes {
+            self.drops += 1;
+            return EnqueueOutcome::Dropped(pkt);
+        }
+        self.bytes += sz;
+        self.q.push_back(pkt);
+        EnqueueOutcome::Queued
+    }
+
+    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+        let pkt = self.q.pop_front()?;
+        self.bytes -= pkt.wire_len();
+        Some(pkt)
+    }
+
+    fn len_packets(&self) -> usize {
+        self.q.len()
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn peek_len(&self) -> Option<usize> {
+        self.q.front().map(Packet::wire_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_net::addr::ip;
+    use netsim_net::Dscp;
+
+    fn pkt(n: usize) -> Packet {
+        Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, n)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = FifoQueue::new(100_000);
+        for seq in 0..5u64 {
+            let mut p = pkt(10);
+            p.meta.seq = seq;
+            assert!(q.enqueue(p, 0).is_queued());
+        }
+        for seq in 0..5u64 {
+            assert_eq!(q.dequeue(0).unwrap().meta.seq, seq);
+        }
+        assert!(q.dequeue(0).is_none());
+    }
+
+    #[test]
+    fn fifo_tail_drops_over_capacity() {
+        // Each UDP packet of 72 B payload is 100 B on the wire.
+        let mut q = FifoQueue::new(250);
+        assert!(q.enqueue(pkt(72), 0).is_queued());
+        assert!(q.enqueue(pkt(72), 0).is_queued());
+        match q.enqueue(pkt(72), 0) {
+            EnqueueOutcome::Dropped(p) => assert_eq!(p.wire_len(), 100),
+            EnqueueOutcome::Queued => panic!("should have tail-dropped"),
+        }
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.len_packets(), 2);
+        assert_eq!(q.len_bytes(), 200);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_through_dequeue() {
+        let mut q = FifoQueue::new(1000);
+        q.enqueue(pkt(100), 0);
+        q.enqueue(pkt(200), 0);
+        assert_eq!(q.len_bytes(), 128 + 228);
+        q.dequeue(0);
+        assert_eq!(q.len_bytes(), 228);
+        q.dequeue(0);
+        assert_eq!(q.len_bytes(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn exp_class_selector() {
+        use netsim_net::{Layer, MplsLabel};
+        let by_exp = class_by_exp();
+        let mut p = pkt(0);
+        assert_eq!(by_exp(&p), 0);
+        p.push_outer(Layer::Mpls(MplsLabel::new(100, 5, 64)));
+        assert_eq!(by_exp(&p), 5);
+    }
+
+    #[test]
+    fn exp_or_dscp_selector_uses_default_map_when_unlabeled() {
+        let sel = class_by_exp_or_dscp();
+        let mut p = pkt(0);
+        p.outer_ipv4_mut().unwrap().dscp = Dscp::EF;
+        assert_eq!(sel(&p), 5);
+        use netsim_net::{Layer, MplsLabel};
+        p.push_outer(Layer::Mpls(MplsLabel::new(9, 3, 1)));
+        assert_eq!(sel(&p), 3);
+    }
+}

@@ -1,0 +1,550 @@
+//! BGP/MPLS VPN control plane (RFC 2547 model, emulated).
+//!
+//! The paper's §4 requires three functions; this module provides the first
+//! two and the state the third consumes:
+//!
+//! * **Membership discovery** — VRFs declare route-target import/export
+//!   communities; any two VRFs sharing a target discover each other through
+//!   route distribution alone ("a single routing system \[supporting\]
+//!   multiple VPNs whose internal address spaces overlap").
+//! * **Reachability exchange** — each PE advertises its customer prefixes
+//!   as VPN-IPv4 routes (route distinguisher + prefix) with a *piggybacked
+//!   VPN label*, via a route reflector or a full iBGP mesh. Messages and
+//!   sessions are counted: they are the per-VPN control cost that the §2.1
+//!   overlay model pays N(N−1)/2 circuits for.
+//! * **Data separation** — the importer ends up with a per-VRF LPM table
+//!   mapping prefixes to `(egress PE, VPN label)`, which `mplsvpn-core`
+//!   installs into PE data planes.
+
+use std::collections::HashMap;
+
+use netsim_mpls::LabelSpace;
+use netsim_net::{LpmTrie, Prefix};
+
+/// A route distinguisher: makes VPN-IPv4 routes globally unique even when
+/// customer prefixes overlap. (Encoded here as provider ASN + assigned
+/// number.)
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RouteDistinguisher {
+    /// Provider AS number.
+    pub asn: u32,
+    /// Assigned number (unique per VPN or per VRF, per provider policy).
+    pub assigned: u32,
+}
+
+impl RouteDistinguisher {
+    /// Creates `asn:assigned`.
+    pub fn new(asn: u32, assigned: u32) -> Self {
+        RouteDistinguisher { asn, assigned }
+    }
+}
+
+impl std::fmt::Display for RouteDistinguisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.asn, self.assigned)
+    }
+}
+
+/// A route-target extended community controlling VRF import/export.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RouteTarget(pub u64);
+
+/// Identifies one VRF instance on one PE.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VrfHandle {
+    /// The PE hosting the VRF.
+    pub pe: usize,
+    /// Index of the VRF on that PE.
+    pub index: usize,
+}
+
+/// A route as imported into a VRF: where to tunnel and which VPN label to
+/// push beneath the tunnel label.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RemoteRoute {
+    /// Egress PE (tunnel endpoint).
+    pub egress_pe: usize,
+    /// VPN label advertised by the egress PE.
+    pub vpn_label: u32,
+    /// The distinguishing RD of the originating VRF.
+    pub rd: RouteDistinguisher,
+}
+
+/// A VPN-IPv4 advertisement as carried by the fabric.
+#[derive(Clone, Debug)]
+struct VpnRouteAd {
+    rd: RouteDistinguisher,
+    prefix: Prefix,
+    egress_pe: usize,
+    vpn_label: u32,
+    export_targets: Vec<RouteTarget>,
+    origin: VrfHandle,
+}
+
+/// One VRF's control-plane state.
+#[derive(Debug)]
+struct VrfControl {
+    rd: RouteDistinguisher,
+    import: Vec<RouteTarget>,
+    export: Vec<RouteTarget>,
+    /// Prefixes this VRF originates, with their VPN labels.
+    local: Vec<(Prefix, u32)>,
+    /// Imported remote routes.
+    table: LpmTrie<RemoteRoute>,
+}
+
+/// One PE's control-plane state.
+#[derive(Debug)]
+struct PeControl {
+    vrfs: Vec<VrfControl>,
+    /// VPN label space (per-prefix allocation, the RFC 2547 default).
+    label_space: LabelSpace,
+    /// Incoming VPN label → (local VRF index, prefix) — what the PE data
+    /// plane needs to dispatch a popped VPN label into the right VRF.
+    vpn_ilm: HashMap<u32, (usize, Prefix)>,
+}
+
+/// How VPN-IPv4 routes are distributed among PEs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DistributionMode {
+    /// Full iBGP mesh: P·(P−1)/2 sessions; an update goes to every peer.
+    FullMesh,
+    /// One route reflector: P sessions; an update goes PE → RR → others.
+    RouteReflector,
+}
+
+/// First label value the fabric hands out as a VPN label. Kept disjoint
+/// from the LDP range (which grows upward from 16) so that a PE's VPN
+/// labels can never alias its transit labels.
+pub const VPN_LABEL_BASE: u32 = 1 << 17;
+
+/// The provider's VPN route distribution fabric.
+pub struct BgpVpnFabric {
+    pes: Vec<PeControl>,
+    mode: DistributionMode,
+    /// All advertisements currently in the fabric (the RR's Adj-RIB).
+    rib: Vec<VpnRouteAd>,
+    messages: u64,
+}
+
+impl BgpVpnFabric {
+    /// Creates a fabric over `pe_count` PEs.
+    pub fn new(pe_count: usize, mode: DistributionMode) -> Self {
+        BgpVpnFabric {
+            pes: (0..pe_count)
+                .map(|_| PeControl {
+                    vrfs: Vec::new(),
+                    label_space: LabelSpace::with_base(VPN_LABEL_BASE),
+                    vpn_ilm: HashMap::new(),
+                })
+                .collect(),
+            mode,
+            rib: Vec::new(),
+            messages: 0,
+        }
+    }
+
+    /// Number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// iBGP sessions implied by the distribution mode.
+    pub fn session_count(&self) -> u64 {
+        let p = self.pes.len() as u64;
+        match self.mode {
+            DistributionMode::FullMesh => p * (p.saturating_sub(1)) / 2,
+            DistributionMode::RouteReflector => p,
+        }
+    }
+
+    /// Update messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Creates a VRF on `pe` with the given RD and import/export targets.
+    pub fn add_vrf(
+        &mut self,
+        pe: usize,
+        rd: RouteDistinguisher,
+        import: Vec<RouteTarget>,
+        export: Vec<RouteTarget>,
+    ) -> VrfHandle {
+        let vrfs = &mut self.pes[pe].vrfs;
+        vrfs.push(VrfControl { rd, import, export, local: Vec::new(), table: LpmTrie::new() });
+        VrfHandle { pe, index: vrfs.len() - 1 }
+    }
+
+    /// Adds an import target to a VRF (extranet provisioning). Takes
+    /// effect for subsequently distributed routes; call
+    /// [`BgpVpnFabric::refresh_vrf`] to pull existing ones.
+    pub fn add_import_target(&mut self, vrf: VrfHandle, rt: RouteTarget) {
+        let v = &mut self.pes[vrf.pe].vrfs[vrf.index];
+        if !v.import.contains(&rt) {
+            v.import.push(rt);
+        }
+    }
+
+    /// Adds an export target to a VRF (extranet provisioning). Takes
+    /// effect for routes advertised afterwards; re-advertise existing
+    /// prefixes to distribute them under the new policy.
+    pub fn add_export_target(&mut self, vrf: VrfHandle, rt: RouteTarget) {
+        let v = &mut self.pes[vrf.pe].vrfs[vrf.index];
+        if !v.export.contains(&rt) {
+            v.export.push(rt);
+        }
+    }
+
+    /// Advertises `prefix` from `vrf` (a connected customer route learned
+    /// from the attached CE): allocates a VPN label, installs the egress
+    /// dispatch entry, and distributes the route to every importing VRF.
+    /// Returns the VPN label.
+    pub fn advertise(&mut self, vrf: VrfHandle, prefix: Prefix) -> u32 {
+        let pe = &mut self.pes[vrf.pe];
+        let label = pe.label_space.allocate();
+        pe.vpn_ilm.insert(label, (vrf.index, prefix));
+        let v = &mut pe.vrfs[vrf.index];
+        v.local.push((prefix, label));
+        let ad = VpnRouteAd {
+            rd: v.rd,
+            prefix,
+            egress_pe: vrf.pe,
+            vpn_label: label,
+            export_targets: v.export.clone(),
+            origin: vrf,
+        };
+        self.distribute(&ad);
+        self.rib.push(ad);
+        label
+    }
+
+    /// Withdraws a previously advertised prefix: removes it from every
+    /// importer, frees the label, removes the dispatch entry — and, where
+    /// another PE still advertises the same prefix (a multihomed site),
+    /// fails importers over to the next-best path.
+    pub fn withdraw(&mut self, vrf: VrfHandle, prefix: Prefix) {
+        let Some(pos) = self
+            .rib
+            .iter()
+            .position(|ad| ad.origin == vrf && ad.prefix == prefix)
+        else {
+            return;
+        };
+        let ad = self.rib.swap_remove(pos);
+        // Withdrawal costs the same messages as the announcement.
+        self.messages += self.update_fanout(ad.egress_pe);
+        // Remaining candidate advertisements for the same prefix.
+        let alternatives: Vec<VpnRouteAd> =
+            self.rib.iter().filter(|x| x.prefix == prefix).cloned().collect();
+        for (pi, pe) in self.pes.iter_mut().enumerate() {
+            for v in &mut pe.vrfs {
+                let Some(existing) = v.table.get(ad.prefix) else {
+                    continue;
+                };
+                let held_withdrawn = existing.rd == ad.rd
+                    && existing.egress_pe == ad.egress_pe
+                    && existing.vpn_label == ad.vpn_label
+                    && pi != ad.egress_pe;
+                if !held_withdrawn {
+                    continue;
+                }
+                v.table.remove(ad.prefix);
+                // Failover: best remaining importable advertisement.
+                let best = alternatives
+                    .iter()
+                    .filter(|x| {
+                        x.egress_pe != pi
+                            && v.import.iter().any(|t| x.export_targets.contains(t))
+                    })
+                    .min_by_key(|x| (x.egress_pe, x.vpn_label));
+                if let Some(alt) = best {
+                    v.table.insert(
+                        prefix,
+                        RemoteRoute { egress_pe: alt.egress_pe, vpn_label: alt.vpn_label, rd: alt.rd },
+                    );
+                }
+            }
+        }
+        let pe = &mut self.pes[vrf.pe];
+        pe.vpn_ilm.remove(&ad.vpn_label);
+        pe.label_space.release(ad.vpn_label);
+        pe.vrfs[vrf.index].local.retain(|(p, _)| *p != prefix);
+    }
+
+    fn update_fanout(&self, from_pe: usize) -> u64 {
+        let _ = from_pe;
+        let p = self.pes.len() as u64;
+        match self.mode {
+            DistributionMode::FullMesh => p.saturating_sub(1),
+            // PE → RR, then RR reflects to the other P−1 PEs.
+            DistributionMode::RouteReflector => 1 + p.saturating_sub(1),
+        }
+    }
+
+    /// BGP best-path tie-break for two advertisements of the same prefix
+    /// importable by the same VRF (a multihomed site): deterministic —
+    /// lowest egress PE, then lowest label.
+    fn better(a: &RemoteRoute, b: &RemoteRoute) -> bool {
+        (a.egress_pe, a.vpn_label) < (b.egress_pe, b.vpn_label)
+    }
+
+    fn distribute(&mut self, ad: &VpnRouteAd) {
+        self.messages += self.update_fanout(ad.egress_pe);
+        for (pi, pe) in self.pes.iter_mut().enumerate() {
+            if pi == ad.egress_pe {
+                continue; // local routes are reached directly, not tunneled
+            }
+            for v in &mut pe.vrfs {
+                if v.import.iter().any(|t| ad.export_targets.contains(t)) {
+                    let cand =
+                        RemoteRoute { egress_pe: ad.egress_pe, vpn_label: ad.vpn_label, rd: ad.rd };
+                    match v.table.get(ad.prefix) {
+                        Some(existing) if !Self::better(&cand, existing) => {}
+                        _ => {
+                            v.table.insert(ad.prefix, cand);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-sends every RIB route to a VRF (used after adding a VRF to an
+    /// already-running VPN — the "new site joins" path of experiment M1).
+    /// Returns the number of routes imported.
+    pub fn refresh_vrf(&mut self, vrf: VrfHandle) -> usize {
+        let mut imported = 0;
+        let rib: Vec<VpnRouteAd> = self.rib.clone();
+        for ad in &rib {
+            if ad.egress_pe == vrf.pe {
+                continue;
+            }
+            let v = &mut self.pes[vrf.pe].vrfs[vrf.index];
+            if v.import.iter().any(|t| ad.export_targets.contains(t)) {
+                let cand =
+                    RemoteRoute { egress_pe: ad.egress_pe, vpn_label: ad.vpn_label, rd: ad.rd };
+                match v.table.get(ad.prefix) {
+                    Some(existing) if !Self::better(&cand, existing) => {}
+                    _ => {
+                        v.table.insert(ad.prefix, cand);
+                    }
+                }
+                imported += 1;
+                self.messages += 1; // RR replays one update
+            }
+        }
+        imported
+    }
+
+    /// The imported remote-route table of a VRF.
+    pub fn routes(&self, vrf: VrfHandle) -> &LpmTrie<RemoteRoute> {
+        &self.pes[vrf.pe].vrfs[vrf.index].table
+    }
+
+    /// The locally originated `(prefix, vpn_label)` pairs of a VRF.
+    pub fn local_routes(&self, vrf: VrfHandle) -> &[(Prefix, u32)] {
+        &self.pes[vrf.pe].vrfs[vrf.index].local
+    }
+
+    /// Egress dispatch: which `(vrf index, prefix)` an incoming VPN label
+    /// on `pe` belongs to.
+    pub fn vpn_label_owner(&self, pe: usize, label: u32) -> Option<(usize, Prefix)> {
+        self.pes[pe].vpn_ilm.get(&label).copied()
+    }
+
+    /// All `(label, vrf index, prefix)` dispatch entries of a PE.
+    pub fn vpn_ilm(&self, pe: usize) -> impl Iterator<Item = (u32, usize, Prefix)> + '_ {
+        self.pes[pe].vpn_ilm.iter().map(|(&l, &(v, p))| (l, v, p))
+    }
+
+    /// Per-PE control state size: (VRFs, imported routes, live VPN labels).
+    /// The T1 state metric.
+    pub fn pe_state(&self, pe: usize) -> (usize, usize, u64) {
+        let p = &self.pes[pe];
+        let routes = p.vrfs.iter().map(|v| v.table.len() + v.local.len()).sum();
+        (p.vrfs.len(), routes, p.label_space.live())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_net::addr::pfx;
+
+    const RT_A: RouteTarget = RouteTarget(100);
+    const RT_B: RouteTarget = RouteTarget(200);
+
+    fn rd(n: u32) -> RouteDistinguisher {
+        RouteDistinguisher::new(65000, n)
+    }
+
+    /// Two VPNs with byte-identical address spaces over 3 PEs: imports must
+    /// stay strictly separate.
+    #[test]
+    fn overlapping_address_spaces_stay_separate() {
+        let mut f = BgpVpnFabric::new(3, DistributionMode::RouteReflector);
+        let a0 = f.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]);
+        let a1 = f.add_vrf(1, rd(1), vec![RT_A], vec![RT_A]);
+        let b0 = f.add_vrf(0, rd(2), vec![RT_B], vec![RT_B]);
+        let b2 = f.add_vrf(2, rd(2), vec![RT_B], vec![RT_B]);
+
+        let la = f.advertise(a1, pfx("10.1.0.0/16"));
+        let lb = f.advertise(b2, pfx("10.1.0.0/16")); // same prefix, other VPN
+
+        let ra = f.routes(a0).lookup(pfx("10.1.0.0/16").addr()).copied().unwrap();
+        assert_eq!(ra.egress_pe, 1);
+        assert_eq!(ra.vpn_label, la);
+        let rb = f.routes(b0).lookup(pfx("10.1.0.0/16").addr()).copied().unwrap();
+        assert_eq!(rb.egress_pe, 2);
+        assert_eq!(rb.vpn_label, lb);
+        assert_eq!(ra.rd, rd(1));
+        assert_eq!(rb.rd, rd(2));
+
+        // No cross-pollination: VPN A's VRF on PE1 must not have B's route.
+        assert!(f.routes(a1).is_empty());
+        assert!(f.routes(b2).is_empty());
+    }
+
+    #[test]
+    fn labels_dispatch_to_the_right_vrf_at_egress() {
+        let mut f = BgpVpnFabric::new(2, DistributionMode::RouteReflector);
+        let a = f.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]);
+        let b = f.add_vrf(0, rd(2), vec![RT_B], vec![RT_B]);
+        let la = f.advertise(a, pfx("10.0.0.0/8"));
+        let lb = f.advertise(b, pfx("10.0.0.0/8"));
+        assert_ne!(la, lb);
+        assert_eq!(f.vpn_label_owner(0, la), Some((a.index, pfx("10.0.0.0/8"))));
+        assert_eq!(f.vpn_label_owner(0, lb), Some((b.index, pfx("10.0.0.0/8"))));
+        assert_eq!(f.vpn_label_owner(1, la), None);
+    }
+
+    #[test]
+    fn session_counts_by_mode() {
+        let mesh = BgpVpnFabric::new(10, DistributionMode::FullMesh);
+        assert_eq!(mesh.session_count(), 45);
+        let rr = BgpVpnFabric::new(10, DistributionMode::RouteReflector);
+        assert_eq!(rr.session_count(), 10);
+    }
+
+    #[test]
+    fn message_counting_per_update() {
+        let mut f = BgpVpnFabric::new(5, DistributionMode::RouteReflector);
+        let v = f.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]);
+        f.advertise(v, pfx("192.168.0.0/24"));
+        // PE → RR (1) + RR → 4 other PEs.
+        assert_eq!(f.messages(), 5);
+
+        let mut m = BgpVpnFabric::new(5, DistributionMode::FullMesh);
+        let v = m.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]);
+        m.advertise(v, pfx("192.168.0.0/24"));
+        assert_eq!(m.messages(), 4);
+    }
+
+    #[test]
+    fn withdraw_removes_route_and_frees_label() {
+        let mut f = BgpVpnFabric::new(2, DistributionMode::RouteReflector);
+        let a0 = f.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]);
+        let a1 = f.add_vrf(1, rd(1), vec![RT_A], vec![RT_A]);
+        let l = f.advertise(a1, pfx("172.16.0.0/12"));
+        assert!(f.routes(a0).lookup(pfx("172.16.0.0/12").addr()).is_some());
+        f.withdraw(a1, pfx("172.16.0.0/12"));
+        assert!(f.routes(a0).lookup(pfx("172.16.0.0/12").addr()).is_none());
+        assert_eq!(f.vpn_label_owner(1, l), None);
+        assert_eq!(f.pe_state(1).2, 0, "label freed");
+        // Idempotent on a second withdraw.
+        f.withdraw(a1, pfx("172.16.0.0/12"));
+    }
+
+    #[test]
+    fn hub_and_spoke_via_asymmetric_targets() {
+        // Spokes export RT_A, import RT_B; hub exports RT_B, imports RT_A:
+        // spokes see only the hub, the hub sees all spokes.
+        let mut f = BgpVpnFabric::new(3, DistributionMode::RouteReflector);
+        let hub = f.add_vrf(0, rd(10), vec![RT_A], vec![RT_B]);
+        let s1 = f.add_vrf(1, rd(11), vec![RT_B], vec![RT_A]);
+        let s2 = f.add_vrf(2, rd(12), vec![RT_B], vec![RT_A]);
+        f.advertise(hub, pfx("10.0.0.0/24"));
+        f.advertise(s1, pfx("10.1.0.0/24"));
+        f.advertise(s2, pfx("10.2.0.0/24"));
+        assert_eq!(f.routes(hub).len(), 2, "hub imports both spokes");
+        assert_eq!(f.routes(s1).len(), 1, "spoke sees only the hub");
+        assert!(f.routes(s1).lookup(pfx("10.2.0.0/24").addr()).is_none(), "no spoke-to-spoke route");
+    }
+
+    #[test]
+    fn late_joining_vrf_catches_up_with_refresh() {
+        let mut f = BgpVpnFabric::new(3, DistributionMode::RouteReflector);
+        let a0 = f.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]);
+        f.advertise(a0, pfx("10.0.0.0/24"));
+        let a1 = f.add_vrf(1, rd(1), vec![RT_A], vec![RT_A]);
+        f.advertise(a1, pfx("10.1.0.0/24"));
+        // The late VRF missed the first update until refreshed.
+        let late = f.add_vrf(2, rd(1), vec![RT_A], vec![RT_A]);
+        assert!(f.routes(late).is_empty());
+        assert_eq!(f.refresh_vrf(late), 2);
+        assert_eq!(f.routes(late).len(), 2);
+    }
+
+    /// A site advertised from two PEs (multihoming): importers pick the
+    /// deterministic best path, and a withdraw fails them over to the
+    /// survivor.
+    #[test]
+    fn multihomed_prefix_best_path_and_failover() {
+        let mut f = BgpVpnFabric::new(3, DistributionMode::RouteReflector);
+        let v0 = f.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]); // importer
+        let v1 = f.add_vrf(1, rd(1), vec![RT_A], vec![RT_A]); // primary home
+        let v2 = f.add_vrf(2, rd(1), vec![RT_A], vec![RT_A]); // backup home
+        let p = pfx("10.5.0.0/16");
+        let l1 = f.advertise(v1, p);
+        let l2 = f.advertise(v2, p);
+        // Best path: lowest egress PE (1) regardless of arrival order.
+        let r = f.routes(v0).lookup(p.addr()).copied().unwrap();
+        assert_eq!((r.egress_pe, r.vpn_label), (1, l1));
+        // Primary withdraws: importer fails over to PE2.
+        f.withdraw(v1, p);
+        let r = f.routes(v0).lookup(p.addr()).copied().unwrap();
+        assert_eq!((r.egress_pe, r.vpn_label), (2, l2));
+        // Backup withdraws too: the prefix is gone.
+        f.withdraw(v2, p);
+        assert!(f.routes(v0).lookup(p.addr()).is_none());
+    }
+
+    /// Best-path choice is independent of advertisement order.
+    #[test]
+    fn multihoming_is_order_independent() {
+        let order_a = {
+            let mut f = BgpVpnFabric::new(3, DistributionMode::RouteReflector);
+            let v0 = f.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]);
+            let v1 = f.add_vrf(1, rd(1), vec![RT_A], vec![RT_A]);
+            let v2 = f.add_vrf(2, rd(1), vec![RT_A], vec![RT_A]);
+            f.advertise(v1, pfx("10.5.0.0/16"));
+            f.advertise(v2, pfx("10.5.0.0/16"));
+            f.routes(v0).lookup(pfx("10.5.0.0/16").addr()).copied().unwrap().egress_pe
+        };
+        let order_b = {
+            let mut f = BgpVpnFabric::new(3, DistributionMode::RouteReflector);
+            let v0 = f.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]);
+            let v1 = f.add_vrf(1, rd(1), vec![RT_A], vec![RT_A]);
+            let v2 = f.add_vrf(2, rd(1), vec![RT_A], vec![RT_A]);
+            f.advertise(v2, pfx("10.5.0.0/16"));
+            f.advertise(v1, pfx("10.5.0.0/16"));
+            f.routes(v0).lookup(pfx("10.5.0.0/16").addr()).copied().unwrap().egress_pe
+        };
+        assert_eq!(order_a, order_b);
+        assert_eq!(order_a, 1);
+    }
+
+    #[test]
+    fn pe_state_counts() {
+        let mut f = BgpVpnFabric::new(2, DistributionMode::RouteReflector);
+        let a0 = f.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]);
+        let a1 = f.add_vrf(1, rd(1), vec![RT_A], vec![RT_A]);
+        f.advertise(a0, pfx("10.0.0.0/24"));
+        f.advertise(a1, pfx("10.1.0.0/24"));
+        let (vrfs, routes, labels) = f.pe_state(0);
+        assert_eq!(vrfs, 1);
+        assert_eq!(routes, 2, "one local + one imported");
+        assert_eq!(labels, 1);
+    }
+}

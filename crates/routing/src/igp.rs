@@ -1,0 +1,265 @@
+//! Link-state interior routing: SPF computation and a flooding cost model.
+//!
+//! The paper's §2.2 observes that "routing protocols like OSPF used to build
+//! routing tables do not exchange QoS information" — the IGP here computes
+//! pure min-cost paths (experiment Q3 contrasts that against CSPF from
+//! `netsim-te`, which *does* see resources).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::topology::Topology;
+
+/// The SPF result rooted at one node.
+#[derive(Clone, Debug)]
+pub struct SpfTree {
+    /// Root node.
+    pub root: usize,
+    /// Total cost to each node (`u64::MAX` = unreachable).
+    pub dist: Vec<u64>,
+    /// First hop (neighbor of the root) toward each node; `None` for the
+    /// root itself and unreachable nodes.
+    pub next_hop: Vec<Option<usize>>,
+    /// All equal-cost first hops toward each node (ECMP set; the single
+    /// `next_hop` is the smallest id, making runs deterministic).
+    pub ecmp: Vec<Vec<usize>>,
+}
+
+impl SpfTree {
+    /// Whether `dst` is reachable from the root.
+    pub fn reachable(&self, dst: usize) -> bool {
+        self.dist[dst] != u64::MAX
+    }
+}
+
+/// The link-state IGP over a topology: per-node SPF trees plus an LSA
+/// flooding cost estimate.
+#[derive(Clone, Debug)]
+pub struct Igp {
+    trees: Vec<SpfTree>,
+    lsa_messages: u64,
+}
+
+impl Igp {
+    /// Runs SPF from every node and tallies the flooding cost: each node
+    /// originates one LSA which is flooded once over every link (the
+    /// standard reliable-flooding lower bound, 2·E messages per LSA).
+    pub fn converge(topo: &Topology) -> Igp {
+        Self::converge_filtered(topo, &|_| true)
+    }
+
+    /// Like [`Igp::converge`], but links for which `usable(link_id)` is
+    /// false are ignored — the reconvergence path after a link failure.
+    pub fn converge_filtered(topo: &Topology, usable: &dyn Fn(usize) -> bool) -> Igp {
+        let n = topo.node_count();
+        let live_links = (0..topo.link_count()).filter(|&l| usable(l)).count() as u64;
+        let trees = (0..n).map(|r| spf_filtered(topo, r, usable)).collect();
+        let lsa_messages = (n as u64) * 2 * live_links;
+        Igp { trees, lsa_messages }
+    }
+
+    /// The SPF tree rooted at `node`.
+    pub fn tree(&self, node: usize) -> &SpfTree {
+        &self.trees[node]
+    }
+
+    /// First hop on the min-cost path `from → to` (deterministic ECMP
+    /// tie-break: lowest neighbor id).
+    pub fn next_hop(&self, from: usize, to: usize) -> Option<usize> {
+        if from == to {
+            None
+        } else {
+            self.trees[from].next_hop[to]
+        }
+    }
+
+    /// Total cost of the min-cost path, if reachable.
+    pub fn path_cost(&self, from: usize, to: usize) -> Option<u64> {
+        let d = self.trees[from].dist[to];
+        (d != u64::MAX).then_some(d)
+    }
+
+    /// The full min-cost node path `from → … → to`, if reachable.
+    pub fn path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if !self.trees[from].reachable(to) {
+            return None;
+        }
+        let mut path = vec![from];
+        let mut at = from;
+        while at != to {
+            at = self.next_hop(at, to)?;
+            path.push(at);
+            if path.len() > self.trees.len() {
+                return None; // inconsistent trees would loop; fail loudly
+            }
+        }
+        Some(path)
+    }
+
+    /// LSA messages flooded during convergence (M1 metric).
+    pub fn lsa_messages(&self) -> u64 {
+        self.lsa_messages
+    }
+}
+
+/// Dijkstra from `root` with deterministic tie-breaking and ECMP first-hop
+/// tracking.
+pub fn spf(topo: &Topology, root: usize) -> SpfTree {
+    spf_filtered(topo, root, &|_| true)
+}
+
+/// [`spf`] restricted to links for which `usable(link_id)` holds.
+pub fn spf_filtered(topo: &Topology, root: usize, usable: &dyn Fn(usize) -> bool) -> SpfTree {
+    let n = topo.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut first_hops: Vec<Vec<usize>> = vec![Vec::new(); n];
+    dist[root] = 0;
+    // (cost, node); BinaryHeap min via Reverse. Ties resolve by node id,
+    // which keeps runs deterministic.
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, root)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for (v, attrs, link) in topo.neighbors(u) {
+            if !usable(link) {
+                continue;
+            }
+            let nd = d.saturating_add(attrs.cost);
+            // First hop set toward v through u.
+            let through: Vec<usize> = if u == root { vec![v] } else { first_hops[u].clone() };
+            if nd < dist[v] {
+                dist[v] = nd;
+                first_hops[v] = through;
+                heap.push(Reverse((nd, v)));
+            } else if nd == dist[v] && nd != u64::MAX {
+                for h in through {
+                    if !first_hops[v].contains(&h) {
+                        first_hops[v].push(h);
+                    }
+                }
+            }
+        }
+    }
+    let next_hop = first_hops
+        .iter()
+        .enumerate()
+        .map(|(v, hops)| if v == root { None } else { hops.iter().copied().min() })
+        .collect();
+    for h in &mut first_hops {
+        h.sort_unstable();
+    }
+    SpfTree { root, dist, next_hop, ecmp: first_hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkAttrs;
+
+    fn attrs(cost: u64) -> LinkAttrs {
+        LinkAttrs { cost, capacity_bps: 1 }
+    }
+
+    /// The classic "fish": 0-1 cheap direct path vs longer detour.
+    fn diamond() -> Topology {
+        let mut t = Topology::new(4);
+        t.add_link(0, 1, attrs(1));
+        t.add_link(1, 3, attrs(1));
+        t.add_link(0, 2, attrs(1));
+        t.add_link(2, 3, attrs(5));
+        t
+    }
+
+    #[test]
+    fn spf_prefers_min_cost() {
+        let igp = Igp::converge(&diamond());
+        assert_eq!(igp.path(0, 3), Some(vec![0, 1, 3]));
+        assert_eq!(igp.path_cost(0, 3), Some(2));
+        assert_eq!(igp.next_hop(0, 3), Some(1));
+        assert_eq!(igp.next_hop(3, 0), Some(1));
+    }
+
+    #[test]
+    fn equal_cost_paths_collected_deterministically() {
+        let mut t = Topology::new(4);
+        t.add_link(0, 1, attrs(1));
+        t.add_link(0, 2, attrs(1));
+        t.add_link(1, 3, attrs(1));
+        t.add_link(2, 3, attrs(1));
+        let igp = Igp::converge(&t);
+        assert_eq!(igp.tree(0).ecmp[3], vec![1, 2]);
+        // Deterministic single choice: smallest id.
+        assert_eq!(igp.next_hop(0, 3), Some(1));
+        assert_eq!(igp.path_cost(0, 3), Some(2));
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut t = Topology::new(3);
+        t.add_link(0, 1, attrs(1));
+        let igp = Igp::converge(&t);
+        assert!(!igp.tree(0).reachable(2));
+        assert_eq!(igp.path(0, 2), None);
+        assert_eq!(igp.next_hop(0, 2), None);
+        assert_eq!(igp.path_cost(0, 2), None);
+    }
+
+    #[test]
+    fn self_paths_are_trivial() {
+        let igp = Igp::converge(&diamond());
+        assert_eq!(igp.path(2, 2), Some(vec![2]));
+        assert_eq!(igp.next_hop(2, 2), None);
+        assert_eq!(igp.path_cost(2, 2), Some(0));
+    }
+
+    #[test]
+    fn costs_are_symmetric_on_undirected_graph() {
+        let t = Topology::ring(7, attrs(3));
+        let igp = Igp::converge(&t);
+        for a in 0..7 {
+            for b in 0..7 {
+                assert_eq!(igp.path_cost(a, b), igp.path_cost(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn flooding_cost_model() {
+        let t = Topology::ring(10, attrs(1));
+        let igp = Igp::converge(&t);
+        // 10 LSAs × 2 × 10 links.
+        assert_eq!(igp.lsa_messages(), 200);
+    }
+
+    #[test]
+    fn paths_follow_next_hops_consistently() {
+        // Random-ish fixed topology; every path must terminate and match
+        // its advertised cost.
+        let mut t = Topology::new(8);
+        let edges =
+            [(0, 1, 2), (1, 2, 2), (2, 3, 1), (3, 4, 4), (4, 5, 1), (5, 6, 2), (6, 7, 1), (7, 0, 3), (1, 5, 7), (2, 6, 1)];
+        for (u, v, c) in edges {
+            t.add_link(u, v, attrs(c));
+        }
+        let igp = Igp::converge(&t);
+        for a in 0..8 {
+            for b in 0..8 {
+                let p = igp.path(a, b).expect("connected graph");
+                assert_eq!(p[0], a);
+                assert_eq!(*p.last().unwrap(), b);
+                let mut cost = 0;
+                for w in p.windows(2) {
+                    cost += edges
+                        .iter()
+                        .filter(|&&(x, y, _)| (x, y) == (w[0], w[1]) || (y, x) == (w[0], w[1]))
+                        .map(|&(_, _, c)| c)
+                        .min()
+                        .unwrap();
+                }
+                assert_eq!(Some(cost), igp.path_cost(a, b), "{a}->{b} via {p:?}");
+            }
+        }
+    }
+}

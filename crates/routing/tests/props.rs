@@ -1,0 +1,196 @@
+//! Property-based tests for routing: SPF against a Floyd–Warshall oracle
+//! on random weighted graphs, and BGP/VPN fabric invariants under random
+//! VRF/route scripts.
+
+use netsim_net::{Ip, Prefix};
+use netsim_routing::{
+    BgpVpnFabric, DistributionMode, Igp, LinkAttrs, RouteDistinguisher, RouteTarget, Topology,
+};
+use proptest::prelude::*;
+
+/// Random connected weighted topology: spanning tree + extras.
+fn arb_topo(max_n: usize) -> impl Strategy<Value = Topology> {
+    (2..max_n)
+        .prop_flat_map(|n| {
+            let tree = proptest::collection::vec((any::<u64>(), 1u64..20), n - 1);
+            let extra = proptest::collection::vec((0..n, 0..n, 1u64..20), 0..n);
+            (Just(n), tree, extra)
+        })
+        .prop_map(|(n, tree, extra)| {
+            let mut t = Topology::new(n);
+            for (i, (r, cost)) in tree.iter().enumerate() {
+                let u = i + 1;
+                let v = (*r as usize) % u;
+                t.add_link(u, v, LinkAttrs { cost: *cost, capacity_bps: 1 });
+            }
+            for (u, v, cost) in extra {
+                if u != v {
+                    t.add_link(u, v, LinkAttrs { cost, capacity_bps: 1 });
+                }
+            }
+            t
+        })
+}
+
+fn floyd_warshall(t: &Topology) -> Vec<Vec<u64>> {
+    let n = t.node_count();
+    let mut d = vec![vec![u64::MAX / 4; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for l in 0..t.link_count() {
+        let (u, v, a) = t.link(l);
+        d[u][v] = d[u][v].min(a.cost);
+        d[v][u] = d[v][u].min(a.cost);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SPF distances match the Floyd–Warshall oracle, and every reported
+    /// path is consistent with its advertised cost.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // oracle is indexed by (a, b)
+    fn spf_matches_floyd_warshall(topo in arb_topo(10)) {
+        let oracle = floyd_warshall(&topo);
+        let igp = Igp::converge(&topo);
+        let n = topo.node_count();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(igp.path_cost(a, b), Some(oracle[a][b]), "{} -> {}", a, b);
+                let path = igp.path(a, b).expect("connected");
+                // Sum edge costs along the path and compare.
+                let mut cost = 0u64;
+                for w in path.windows(2) {
+                    let c = topo
+                        .neighbors(w[0])
+                        .filter(|&(peer, _, _)| peer == w[1])
+                        .map(|(_, attrs, _)| attrs.cost)
+                        .min()
+                        .expect("adjacent");
+                    cost += c;
+                }
+                prop_assert_eq!(cost, oracle[a][b]);
+            }
+        }
+    }
+
+    /// ECMP sets always contain the chosen next hop, and the chosen hop is
+    /// the minimum (determinism contract).
+    #[test]
+    fn ecmp_contains_next_hop(topo in arb_topo(9)) {
+        let igp = Igp::converge(&topo);
+        let n = topo.node_count();
+        for a in 0..n {
+            let tree = igp.tree(a);
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let nh = tree.next_hop[b].expect("connected");
+                prop_assert!(tree.ecmp[b].contains(&nh));
+                prop_assert_eq!(Some(&nh), tree.ecmp[b].iter().min());
+            }
+        }
+    }
+
+    /// BGP/VPN fabric: a VRF imports a route iff the route's export
+    /// targets intersect its import targets — over random target sets.
+    #[test]
+    fn import_iff_rt_intersection(
+        import_bits in 0u8..16,
+        export_bits in 1u8..16,
+        pe_count in 2usize..5,
+    ) {
+        let rts = |bits: u8| -> Vec<RouteTarget> {
+            (0..4).filter(|b| bits & (1 << b) != 0).map(|b| RouteTarget(b as u64)).collect()
+        };
+        let mut f = BgpVpnFabric::new(pe_count, DistributionMode::RouteReflector);
+        let importer = f.add_vrf(0, RouteDistinguisher::new(65000, 1), rts(import_bits), vec![]);
+        let exporter =
+            f.add_vrf(1, RouteDistinguisher::new(65000, 2), vec![], rts(export_bits));
+        let p: Prefix = "192.168.0.0/24".parse().unwrap();
+        f.advertise(exporter, p);
+        let should_import = import_bits & export_bits != 0;
+        prop_assert_eq!(f.routes(importer).lookup(p.addr()).is_some(), should_import);
+    }
+
+    /// Advertise-then-withdraw leaves every VRF table exactly as before,
+    /// and label accounting returns to baseline, for any interleaving of
+    /// other routes.
+    #[test]
+    fn withdraw_restores_state(
+        others in proptest::collection::vec((0u8..4, any::<u16>()), 0..12),
+        target_pe in 0u8..4,
+    ) {
+        let rt = RouteTarget(9);
+        let rd = RouteDistinguisher::new(65000, 9);
+        let build = |with_extra: bool| {
+            let mut f = BgpVpnFabric::new(4, DistributionMode::RouteReflector);
+            let handles: Vec<_> = (0..4).map(|pe| f.add_vrf(pe, rd, vec![rt], vec![rt])).collect();
+            for (pe, third) in &others {
+                let p = Prefix::new(Ip(0xC0A8_0000 | (u32::from(*third) << 8)), 24);
+                f.advertise(handles[*pe as usize % 4], p);
+            }
+            if with_extra {
+                let extra: Prefix = "172.16.0.0/12".parse().unwrap();
+                let h = handles[target_pe as usize % 4];
+                f.advertise(h, extra);
+                f.withdraw(h, extra);
+            }
+            let tables: Vec<Vec<(Prefix, usize, u32)>> = handles
+                .iter()
+                .map(|&h| {
+                    let mut v: Vec<(Prefix, usize, u32)> = f
+                        .routes(h)
+                        .iter()
+                        .map(|(p, r)| (p, r.egress_pe, r.vpn_label))
+                        .collect();
+                    v.sort();
+                    v
+                })
+                .collect();
+            let labels: Vec<u64> = (0..4).map(|pe| f.pe_state(pe).2).collect();
+            (tables, labels)
+        };
+        // Duplicate prefixes in `others` advertise twice; fine — both runs
+        // do the same thing, so state must still match.
+        prop_assert_eq!(build(false), build(true));
+    }
+
+    /// Session-count algebra: full mesh is quadratic, RR linear, and both
+    /// distribute to the same importers.
+    #[test]
+    fn distribution_modes_agree_on_reachability(pe_count in 2usize..6, n_routes in 1usize..8) {
+        let rt = RouteTarget(1);
+        let rd = RouteDistinguisher::new(65000, 1);
+        let run = |mode| {
+            let mut f = BgpVpnFabric::new(pe_count, mode);
+            let handles: Vec<_> =
+                (0..pe_count).map(|pe| f.add_vrf(pe, rd, vec![rt], vec![rt])).collect();
+            for i in 0..n_routes {
+                let p = Prefix::new(Ip(0x0A00_0000 | ((i as u32) << 8)), 24);
+                f.advertise(handles[i % pe_count], p);
+            }
+            let routes: Vec<usize> = handles.iter().map(|&h| f.routes(h).len()).collect();
+            (routes, f.session_count())
+        };
+        let (mesh_routes, mesh_sessions) = run(DistributionMode::FullMesh);
+        let (rr_routes, rr_sessions) = run(DistributionMode::RouteReflector);
+        prop_assert_eq!(mesh_routes, rr_routes, "reachability must not depend on distribution");
+        prop_assert_eq!(mesh_sessions, (pe_count * (pe_count - 1) / 2) as u64);
+        prop_assert_eq!(rr_sessions, pe_count as u64);
+    }
+}

@@ -1,0 +1,108 @@
+//! The node abstraction: anything attached to the network — routers, hosts,
+//! traffic sources and sinks — implements [`Node`].
+
+use std::any::Any;
+
+use netsim_net::Packet;
+use netsim_qos::Nanos;
+
+/// Identifies a node within one [`crate::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Identifies an interface local to one node (dense, assigned in connection
+/// order by [`crate::Network::connect`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IfaceId(pub usize);
+
+/// Handler context: lets a node emit packets and arm timers. Actions are
+/// buffered and applied by the network after the handler returns, so the
+/// handler never sees a partially updated network.
+pub struct Ctx {
+    now: Nanos,
+    node: NodeId,
+    pub(crate) actions: Vec<Action>,
+}
+
+pub(crate) enum Action {
+    Send { iface: IfaceId, pkt: Packet },
+    SendLater { iface: IfaceId, pkt: Packet, delay: Nanos },
+    Timer { delay: Nanos, token: u64 },
+}
+
+impl Ctx {
+    pub(crate) fn new(now: Nanos, node: NodeId) -> Self {
+        Ctx { now, node, actions: Vec::new() }
+    }
+
+    /// Current simulation time in nanoseconds.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// The node this context belongs to.
+    #[inline]
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transmits `pkt` out of local interface `iface`. The packet enters
+    /// that egress's queueing discipline immediately.
+    pub fn send(&mut self, iface: IfaceId, pkt: Packet) {
+        self.actions.push(Action::Send { iface, pkt });
+    }
+
+    /// Like [`Ctx::send`], but the packet reaches the egress queue only
+    /// after `delay` ns — models local processing time (e.g. IPsec crypto)
+    /// spent before transmission.
+    pub fn send_after(&mut self, delay: Nanos, iface: IfaceId, pkt: Packet) {
+        self.actions.push(Action::SendLater { iface, pkt, delay });
+    }
+
+    /// Arms a one-shot timer that fires `on_timer(token)` after `delay`.
+    pub fn schedule(&mut self, delay: Nanos, token: u64) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+}
+
+/// A network-attached device.
+///
+/// Implementations are plain state machines: they react to packet arrivals
+/// and timer expiries through the [`Ctx`] and hold whatever state they need.
+/// `as_any`/`as_any_mut` allow experiment code to downcast a node back to
+/// its concrete type to read statistics after (or during) a run.
+pub trait Node: Any {
+    /// A packet arrived on local interface `iface`.
+    fn on_packet(&mut self, iface: IfaceId, pkt: Packet, ctx: &mut Ctx);
+
+    /// A timer armed via [`Ctx::schedule`] fired.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
+
+    /// Upcast for downcasting in experiment code.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for downcasting in experiment code.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A node that silently discards everything (useful as a placeholder peer).
+#[derive(Default)]
+pub struct BlackHole {
+    /// Packets absorbed.
+    pub absorbed: u64,
+}
+
+impl Node for BlackHole {
+    fn on_packet(&mut self, _iface: IfaceId, _pkt: Packet, _ctx: &mut Ctx) {
+        self.absorbed += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

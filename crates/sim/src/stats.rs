@@ -1,0 +1,266 @@
+//! Measurement machinery: histograms and per-flow statistics.
+
+use netsim_qos::Nanos;
+
+/// A log₂-bucketed histogram of nanosecond durations.
+///
+/// Buckets double in width, so quantiles are accurate to within a factor of
+/// two at the tails and the structure costs a fixed 64 counters — cheap
+/// enough to keep one per flow. Exact `min`/`max`/`mean` are tracked on the
+/// side.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    min: Nanos,
+    max: Nanos,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; 64], count: 0, sum: 0, min: Nanos::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Nanos) {
+        let b = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        self.buckets[b.min(63)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> Nanos {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Nanos {
+        self.max
+    }
+
+    /// Approximate quantile `q ∈ [0,1]`: upper bound of the bucket holding
+    /// the q-th sample. Exact at the recorded max for `q = 1`.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).floor() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                // Upper edge of bucket i, clamped into the observed range.
+                let hi: Nanos = if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Receiver-side statistics of one flow, as accumulated by
+/// [`crate::traffic::Sink`].
+#[derive(Clone, Debug, Default)]
+pub struct FlowStats {
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Payload-inclusive wire bytes received.
+    pub rx_bytes: u64,
+    /// One-way latency histogram (created → delivered).
+    pub latency: Histogram,
+    /// RFC 3550 interarrival jitter estimate, in ns.
+    pub jitter_ns: f64,
+    /// Highest sequence number seen.
+    pub max_seq: u64,
+    /// Packets that arrived with a sequence number lower than an earlier
+    /// arrival (reordering indicator).
+    pub reordered: u64,
+    /// Arrival time of the first packet.
+    pub first_rx: Nanos,
+    /// Arrival time of the most recent packet.
+    pub last_rx: Nanos,
+    last_transit: Option<i128>,
+    seen_any: bool,
+}
+
+impl FlowStats {
+    /// Records a delivery at `now` for a packet created at `created` with
+    /// sequence `seq` and `bytes` on the wire.
+    pub fn record(&mut self, now: Nanos, created: Nanos, seq: u64, bytes: usize) {
+        let latency = now.saturating_sub(created);
+        self.latency.record(latency);
+        self.rx_packets += 1;
+        self.rx_bytes += bytes as u64;
+        if !self.seen_any {
+            self.first_rx = now;
+            self.seen_any = true;
+        } else if seq < self.max_seq {
+            self.reordered += 1;
+        }
+        self.max_seq = self.max_seq.max(seq);
+        self.last_rx = now;
+        // RFC 3550: J += (|D(i-1, i)| - J) / 16, with D the difference in
+        // transit times of consecutive packets.
+        let transit = latency as i128;
+        if let Some(prev) = self.last_transit {
+            let d = (transit - prev).unsigned_abs() as f64;
+            self.jitter_ns += (d - self.jitter_ns) / 16.0;
+        }
+        self.last_transit = Some(transit);
+    }
+
+    /// Goodput in bits/s over the window from first to last arrival.
+    pub fn throughput_bps(&self) -> f64 {
+        let window = self.last_rx.saturating_sub(self.first_rx);
+        if window == 0 {
+            return 0.0;
+        }
+        self.rx_bytes as f64 * 8.0 * 1e9 / window as f64
+    }
+
+    /// Loss fraction given the sender's transmitted count.
+    pub fn loss(&self, tx_packets: u64) -> f64 {
+        if tx_packets == 0 {
+            return 0.0;
+        }
+        1.0 - (self.rx_packets.min(tx_packets) as f64 / tx_packets as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = Histogram::new();
+        for v in [100, 200, 300] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), 200.0);
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        // Log buckets: p50 of 1..1000 lands in bucket covering 512..1023.
+        assert!((256..=1023).contains(&p50), "p50={p50}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn flow_stats_constant_transit_has_zero_jitter() {
+        let mut f = FlowStats::default();
+        for i in 0..100u64 {
+            // Created every ms, delivered exactly 5 ms later.
+            f.record(i * 1_000_000 + 5_000_000, i * 1_000_000, i, 100);
+        }
+        assert_eq!(f.rx_packets, 100);
+        assert_eq!(f.jitter_ns, 0.0);
+        assert_eq!(f.reordered, 0);
+        assert_eq!(f.loss(100), 0.0);
+        assert!((f.loss(200) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_stats_variable_transit_accumulates_jitter() {
+        let mut f = FlowStats::default();
+        for i in 0..100u64 {
+            let jitter = if i % 2 == 0 { 0 } else { 2_000_000 };
+            f.record(i * 1_000_000 + 5_000_000 + jitter, i * 1_000_000, i, 100);
+        }
+        assert!(f.jitter_ns > 500_000.0, "jitter {}", f.jitter_ns);
+    }
+
+    #[test]
+    fn flow_stats_detects_reordering() {
+        let mut f = FlowStats::default();
+        f.record(10, 0, 0, 10);
+        f.record(20, 1, 2, 10);
+        f.record(30, 2, 1, 10); // out of order
+        assert_eq!(f.reordered, 1);
+        assert_eq!(f.max_seq, 2);
+    }
+
+    #[test]
+    fn throughput_window() {
+        let mut f = FlowStats::default();
+        f.record(0, 0, 0, 1250);
+        f.record(1_000_000_000, 0, 1, 1250);
+        // 2500 B over 1 s = 20 kb/s.
+        assert!((f.throughput_bps() - 20_000.0).abs() < 1.0);
+    }
+}

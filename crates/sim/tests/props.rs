@@ -1,0 +1,212 @@
+//! Property-based tests for the simulator: conservation and timing laws
+//! that must hold for any traffic pattern and any link configuration.
+
+use netsim_net::addr::ip;
+use netsim_net::{Dscp, Packet};
+use netsim_qos::SEC;
+use netsim_sim::node::BlackHole;
+use netsim_sim::{
+    CbrSource, Ctx, IfaceId, LinkConfig, LinkId, Network, Node, Sink, SourceConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation over a single link: packets transmitted + dropped at
+    /// the egress equals packets offered; everything transmitted arrives.
+    #[test]
+    fn link_conserves_packets(
+        payloads in proptest::collection::vec(0usize..1400, 1..80),
+        rate_mbps in 1u64..1000,
+        delay_us in 0u64..10_000,
+        cap_kb in 1usize..64,
+    ) {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(BlackHole::default()));
+        let b = net.add_node(Box::new(Sink::new()));
+        let cfg = LinkConfig::new(rate_mbps * 1_000_000, delay_us * 1_000).fifo_cap(cap_kb * 1024);
+        let (l, ia, _) = net.connect(a, b, cfg);
+        let offered = payloads.len() as u64;
+        let mut offered_bytes = 0u64;
+        for (i, p) in payloads.iter().enumerate() {
+            let mut pkt = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, *p);
+            pkt.meta.seq = i as u64;
+            offered_bytes += pkt.wire_len() as u64;
+            net.inject(a, ia, pkt);
+        }
+        net.run_to_quiescence();
+        let st = net.link_stats(l, 0);
+        prop_assert_eq!(st.tx_packets + st.dropped, offered);
+        let sink = net.node_ref::<Sink>(b);
+        prop_assert_eq!(sink.total_packets, st.tx_packets);
+        prop_assert!(st.tx_bytes <= offered_bytes);
+        // Busy time is bytes × 8 / rate, up to one floored nanosecond per
+        // packet (each transmission time is floor-divided independently).
+        let expect_busy = st.tx_bytes as u128 * 8 * 1_000_000_000 / (rate_mbps as u128 * 1_000_000);
+        let diff = (st.busy_ns as i128 - expect_busy as i128).unsigned_abs();
+        prop_assert!(diff <= st.tx_packets as u128, "busy {} vs {}", st.busy_ns, expect_busy);
+    }
+
+    /// A CBR flow through an uncongested path arrives complete, in order,
+    /// with constant latency (zero jitter).
+    #[test]
+    fn uncongested_cbr_is_transparent(
+        n in 1u64..200,
+        interval_us in 100u64..10_000,
+        payload in 0usize..1400,
+    ) {
+        let mut net = Network::new();
+        let cfg = SourceConfig::udp(1, ip("10.0.0.1"), ip("10.0.0.2"), 5000, payload);
+        let src = net.add_node(Box::new(CbrSource::new(cfg, interval_us * 1_000, Some(n))));
+        let dst = net.add_node(Box::new(Sink::new()));
+        net.connect(src, dst, LinkConfig::new(10_000_000_000, 1_000));
+        net.arm_timer(src, 0, 0);
+        net.run_to_quiescence();
+        let sink = net.node_ref::<Sink>(dst);
+        let f = sink.flow(1).expect("delivered");
+        prop_assert_eq!(f.rx_packets, n);
+        prop_assert_eq!(f.reordered, 0);
+        prop_assert_eq!(f.jitter_ns, 0.0);
+        prop_assert_eq!(f.latency.min(), f.latency.max());
+    }
+
+    /// FIFO links never reorder, regardless of packet size mix.
+    #[test]
+    fn fifo_links_never_reorder(
+        payloads in proptest::collection::vec(0usize..1400, 2..100),
+        rate_mbps in 1u64..100,
+    ) {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(BlackHole::default()));
+        let b = net.add_node(Box::new(Sink::new()));
+        let (_, ia, _) =
+            net.connect(a, b, LinkConfig::new(rate_mbps * 1_000_000, 5_000).fifo_cap(1 << 22));
+        for (i, p) in payloads.iter().enumerate() {
+            let mut pkt = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, *p);
+            pkt.meta.flow = 1;
+            pkt.meta.seq = i as u64;
+            net.inject(a, ia, pkt);
+        }
+        net.run_to_quiescence();
+        let f = net.node_ref::<Sink>(b).flow(1).expect("delivered");
+        prop_assert_eq!(f.reordered, 0);
+        prop_assert_eq!(f.rx_packets, payloads.len() as u64);
+    }
+
+    /// Timer causality: a relay chain of nodes forwarding with `send_after`
+    /// delays accumulates exactly the sum of the delays.
+    #[test]
+    fn send_after_accumulates_delay(delays in proptest::collection::vec(1u64..1_000_000, 1..6)) {
+        struct Relay {
+            delay: u64,
+            out: Option<IfaceId>,
+        }
+        impl Node for Relay {
+            fn on_packet(&mut self, _i: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+                if let Some(out) = self.out {
+                    ctx.send_after(self.delay, out, pkt);
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut net = Network::new();
+        let src = net.add_node(Box::new(BlackHole::default()));
+        let mut prev = src;
+        // Chain: src → relay… → sink. Links are instant-ish (1 Gb/s, 0 delay).
+        let relays: Vec<_> = delays
+            .iter()
+            .map(|&d| net.add_node(Box::new(Relay { delay: d, out: None })))
+            .collect();
+        let sink = net.add_node(Box::new(Sink::new()));
+        let mut first_iface = None;
+        for (k, &r) in relays.iter().enumerate() {
+            let (_, ia, _) = net.connect(prev, r, LinkConfig::new(1_000_000_000_000, 0));
+            if k == 0 {
+                first_iface = Some(ia);
+            }
+            prev = r;
+        }
+        let (_, _, _) = net.connect(prev, sink, LinkConfig::new(1_000_000_000_000, 0));
+        // Each relay forwards out its *second* interface (toward the next
+        // node), which exists after the chain wiring: iface 1 (or 0 for
+        // the case where the relay is first... it's always iface 1 because
+        // each relay has the inbound link connected first).
+        for &r in &relays {
+            net.node_mut::<Relay>(r).out = Some(IfaceId(1));
+        }
+        let pkt = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, 0);
+        net.inject(src, first_iface.unwrap(), pkt);
+        net.run_to_quiescence();
+        let s = net.node_ref::<Sink>(sink);
+        prop_assert_eq!(s.total_packets, 1);
+        let f = s.flow(0).unwrap();
+        // Serialization of the 28 B packet on each hop: 28*8 bits at 1 Tb/s
+        // rounds to 0 ns; so latency = sum of relay delays exactly.
+        let want: u64 = delays.iter().sum();
+        prop_assert_eq!(f.last_rx, want);
+    }
+
+    /// Determinism: the same random scenario produces identical link stats
+    /// when replayed.
+    #[test]
+    fn replays_are_identical(
+        seed in any::<u64>(),
+        n_flows in 1usize..5,
+    ) {
+        /// Forwards everything out interface 0 (the bottleneck).
+        struct ForwardAll;
+        impl Node for ForwardAll {
+            fn on_packet(&mut self, _i: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+                ctx.send(IfaceId(0), pkt);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let run = || {
+            let mut net = Network::new();
+            let dst = net.add_node(Box::new(Sink::new()));
+            let hub = net.add_node(Box::new(ForwardAll));
+            let (l, _, _) = net.connect(hub, dst, LinkConfig::new(5_000_000, 1000).fifo_cap(8192));
+            for fid in 0..n_flows {
+                let cfg = SourceConfig::udp(fid as u64, ip("10.0.0.1"), ip("10.0.0.2"), 5000, 700);
+                let s = net.add_node(Box::new(netsim_sim::PoissonSource::new(
+                    cfg,
+                    500_000,
+                    seed ^ fid as u64,
+                    Some(SEC / 10),
+                )));
+                net.connect(s, hub, LinkConfig::new(1_000_000_000, 0));
+                net.arm_timer(s, 0, 0);
+            }
+            net.run_to_quiescence();
+            let st = net.link_stats(l, 0);
+            (st.tx_packets, st.tx_bytes, st.dropped, net.events_processed())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// BlackHole hub forwards nothing — make the determinism scenario actually
+/// push packets through the bottleneck by using a forwarding hub instead.
+#[test]
+fn blackhole_absorbs() {
+    let mut net = Network::new();
+    let a = net.add_node(Box::new(BlackHole::default()));
+    let b = net.add_node(Box::new(BlackHole::default()));
+    let (l, ia, _) = net.connect(a, b, LinkConfig::new(1_000_000, 0));
+    net.inject(a, ia, Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, 10));
+    net.run_to_quiescence();
+    assert_eq!(net.node_ref::<BlackHole>(b).absorbed, 1);
+    assert_eq!(net.link_stats(l, 0).tx_packets, 1);
+    let _ = LinkId(0);
+}

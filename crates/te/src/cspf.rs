@@ -1,0 +1,122 @@
+//! Constraint-based SPF: min-cost path over links satisfying a bandwidth
+//! constraint.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use netsim_routing::Topology;
+
+/// Computes the min-IGP-cost path `src → dst` using only links for which
+/// `usable(link_id) ≥ demand` holds (the caller encodes reservations and
+/// priorities in `usable`). Ties break toward fewer hops, then lower node
+/// ids, so results are deterministic.
+///
+/// Returns the node path including both endpoints, or `None` when no
+/// feasible path exists.
+pub fn cspf_path(
+    topo: &Topology,
+    src: usize,
+    dst: usize,
+    usable: &dyn Fn(usize) -> bool,
+) -> Option<Vec<usize>> {
+    let n = topo.node_count();
+    if src >= n || dst >= n {
+        return None;
+    }
+    if src == dst {
+        return Some(vec![src]);
+    }
+    // Lexicographic relaxation on (cost, hops, predecessor id).
+    let mut best: Vec<(u64, u32)> = vec![(u64::MAX, u32::MAX); n];
+    let mut pred: Vec<usize> = vec![usize::MAX; n];
+    best[src] = (0, 0);
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, 0u32, src)));
+    while let Some(Reverse((cost, hops, u))) = heap.pop() {
+        if (cost, hops) > best[u] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        for (v, attrs, link) in topo.neighbors(u) {
+            if !usable(link) {
+                continue;
+            }
+            let cand = (cost.saturating_add(attrs.cost), hops + 1);
+            if cand < best[v] || (cand == best[v] && u < pred[v]) {
+                best[v] = cand;
+                pred[v] = u;
+                heap.push(Reverse((cand.0, cand.1, v)));
+            }
+        }
+    }
+    if best[dst].0 == u64::MAX {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut at = dst;
+    while at != src {
+        at = pred[at];
+        path.push(at);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_routing::LinkAttrs;
+
+    fn attrs(cost: u64, cap: u64) -> LinkAttrs {
+        LinkAttrs { cost, capacity_bps: cap }
+    }
+
+    /// 0 —1— 3 (cheap) and 0 —2— 3 (expensive detour).
+    fn fish() -> Topology {
+        let mut t = Topology::new(4);
+        t.add_link(0, 1, attrs(1, 10)); // link 0
+        t.add_link(1, 3, attrs(1, 10)); // link 1
+        t.add_link(0, 2, attrs(2, 10)); // link 2
+        t.add_link(2, 3, attrs(2, 10)); // link 3
+        t
+    }
+
+    #[test]
+    fn unconstrained_takes_shortest() {
+        let t = fish();
+        assert_eq!(cspf_path(&t, 0, 3, &|_| true), Some(vec![0, 1, 3]));
+    }
+
+    #[test]
+    fn constraint_diverts_to_detour() {
+        let t = fish();
+        // Link 1 (1→3) is full: must take the detour.
+        assert_eq!(cspf_path(&t, 0, 3, &|l| l != 1), Some(vec![0, 2, 3]));
+    }
+
+    #[test]
+    fn no_feasible_path_returns_none() {
+        let t = fish();
+        assert_eq!(cspf_path(&t, 0, 3, &|l| l != 1 && l != 3), None);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let t = fish();
+        assert_eq!(cspf_path(&t, 2, 2, &|_| true), Some(vec![2]));
+        assert_eq!(cspf_path(&t, 0, 9, &|_| true), None);
+    }
+
+    #[test]
+    fn deterministic_on_equal_cost() {
+        let mut t = Topology::new(4);
+        t.add_link(0, 1, attrs(1, 1));
+        t.add_link(1, 3, attrs(1, 1));
+        t.add_link(0, 2, attrs(1, 1));
+        t.add_link(2, 3, attrs(1, 1));
+        // Both paths cost 2 with 2 hops: lower node id (1) wins.
+        assert_eq!(cspf_path(&t, 0, 3, &|_| true), Some(vec![0, 1, 3]));
+    }
+}
