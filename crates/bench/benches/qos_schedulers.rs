@@ -67,12 +67,42 @@ fn benches(c: &mut Criterion) {
     bench_qdisc(c, "cbq4", Box::new(cbq));
     let tree = netsim_qos::HierCbq::new(
         vec![
-            netsim_qos::CbqNodeConfig { parent: None, rate_bps: 1_000_000_000, bounded: true, cap_bytes: 0 },
-            netsim_qos::CbqNodeConfig { parent: Some(0), rate_bps: 600_000_000, bounded: true, cap_bytes: 0 },
-            netsim_qos::CbqNodeConfig { parent: Some(1), rate_bps: 200_000_000, bounded: false, cap_bytes: 1 << 18 },
-            netsim_qos::CbqNodeConfig { parent: Some(1), rate_bps: 400_000_000, bounded: false, cap_bytes: 1 << 18 },
-            netsim_qos::CbqNodeConfig { parent: Some(0), rate_bps: 400_000_000, bounded: false, cap_bytes: 1 << 18 },
-            netsim_qos::CbqNodeConfig { parent: Some(0), rate_bps: 100_000_000, bounded: false, cap_bytes: 1 << 18 },
+            netsim_qos::CbqNodeConfig {
+                parent: None,
+                rate_bps: 1_000_000_000,
+                bounded: true,
+                cap_bytes: 0,
+            },
+            netsim_qos::CbqNodeConfig {
+                parent: Some(0),
+                rate_bps: 600_000_000,
+                bounded: true,
+                cap_bytes: 0,
+            },
+            netsim_qos::CbqNodeConfig {
+                parent: Some(1),
+                rate_bps: 200_000_000,
+                bounded: false,
+                cap_bytes: 1 << 18,
+            },
+            netsim_qos::CbqNodeConfig {
+                parent: Some(1),
+                rate_bps: 400_000_000,
+                bounded: false,
+                cap_bytes: 1 << 18,
+            },
+            netsim_qos::CbqNodeConfig {
+                parent: Some(0),
+                rate_bps: 400_000_000,
+                bounded: false,
+                cap_bytes: 1 << 18,
+            },
+            netsim_qos::CbqNodeConfig {
+                parent: Some(0),
+                rate_bps: 100_000_000,
+                bounded: false,
+                cap_bytes: 1 << 18,
+            },
         ],
         by_flow(),
     );

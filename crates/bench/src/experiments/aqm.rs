@@ -68,6 +68,7 @@ pub fn measure(aqm: Aqm, duration: Nanos) -> AqmResult {
     let vpn = pn.new_vpn("acme");
     let a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), None);
     let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
+    pn.verify().assert_clean("aqm experiment");
     let sink = pn.attach_tcp_sink(b, pfx("10.2.0.0/16"));
     let sources: Vec<_> = (0..FLOWS)
         .map(|i| {
@@ -100,8 +101,7 @@ pub fn measure(aqm: Aqm, duration: Nanos) -> AqmResult {
             lat.merge(&f.latency);
         }
     }
-    let retransmits =
-        sources.iter().map(|&s| pn.net.node_ref::<TcpSource>(s).retransmits).sum();
+    let retransmits = sources.iter().map(|&s| pn.net.node_ref::<TcpSource>(s).retransmits).sum();
     AqmResult { goodput_bps: sum, mean_latency_ns: lat.mean() as u64, fairness, retransmits }
 }
 

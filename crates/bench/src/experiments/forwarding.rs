@@ -37,7 +37,10 @@ pub fn build_tables(k: usize, seed: u64) -> (LpmTrie<u32>, Lfib, Vec<Ip>, Vec<u3
     let mut labels = Vec::with_capacity(k);
     for i in 0..k {
         let label = 16 + i as u32;
-        lfib.install(label, Nhlfe { op: LabelOp::Swap(16 + ((i as u32 + 1) % k as u32)), out_iface: i % 8 });
+        lfib.install(
+            label,
+            Nhlfe { op: LabelOp::Swap(16 + ((i as u32 + 1) % k as u32)), out_iface: i % 8 },
+        );
         labels.push(label);
     }
     (fib, lfib, queries, labels)
@@ -93,6 +96,7 @@ pub fn core_router_ops() -> (u64, u64) {
     let vpn = pn.new_vpn("acme");
     let a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), None);
     let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
+    pn.verify().assert_clean("forwarding experiment");
     pn.attach_sink(b, pfx("10.2.0.0/16"));
     let cfg = SourceConfig::udp(1, pn.site_addr(a, 1), pn.site_addr(b, 1), 5000, 200);
     pn.attach_cbr_source(a, cfg, MSEC, Some(200));
@@ -117,6 +121,7 @@ pub fn php_ablation() -> Vec<(&'static str, u64, u64, u64)> {
         let vpn = pn.new_vpn("acme");
         let a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), None);
         let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
+        pn.verify().assert_clean("php ablation");
         pn.attach_sink(b, pfx("10.2.0.0/16"));
         let cfg = SourceConfig::udp(1, pn.site_addr(a, 1), pn.site_addr(b, 1), 5000, 200);
         pn.attach_cbr_source(a, cfg, MSEC, Some(100));
@@ -132,7 +137,8 @@ pub fn php_ablation() -> Vec<(&'static str, u64, u64, u64)> {
 
 /// Runs the sweep and renders the table.
 pub fn run(quick: bool) -> String {
-    let sizes: Vec<usize> = if quick { vec![1_000, 10_000] } else { vec![1_000, 10_000, 50_000, 100_000] };
+    let sizes: Vec<usize> =
+        if quick { vec![1_000, 10_000] } else { vec![1_000, 10_000, 50_000, 100_000] };
     let iters = if quick { 200_000 } else { 2_000_000 };
     let mut t = Table::new(
         "F4: per-packet forwarding decision cost — IP LPM vs MPLS label swap",

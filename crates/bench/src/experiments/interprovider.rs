@@ -63,8 +63,9 @@ pub fn measure(duration: Nanos, diffserv: bool) -> (Vec<Q4Flow>, bool, u64) {
     );
     let sink = ip.attach_sink_b(pfx("10.2.0.0/16"));
     // Voice: EF, 75 kb/s. Bulk: BE flood at ~12 Mb/s across 10 Mb/s links.
-    let voice = SourceConfig::udp(1, pfx("10.1.0.0/16").nth(3), pfx("10.2.0.0/16").nth(3), 16400, 160)
-        .with_dscp(Dscp::EF);
+    let voice =
+        SourceConfig::udp(1, pfx("10.1.0.0/16").nth(3), pfx("10.2.0.0/16").nth(3), 16400, 160)
+            .with_dscp(Dscp::EF);
     let bulk = SourceConfig::udp(2, pfx("10.1.0.0/16").nth(4), pfx("10.2.0.0/16").nth(4), 20, 1200);
     let voice_count = duration / (20 * MSEC);
     let bulk_interval = 600_000; // 1228 B wire / 0.6 ms ≈ 16.4 Mb/s
@@ -89,11 +90,7 @@ pub fn measure(duration: Nanos, diffserv: bool) -> (Vec<Q4Flow>, bool, u64) {
         },
     ];
     // EXP preservation: every labeled hop of the voice flow must carry 5.
-    let exp_ok = trace
-        .flow(1)
-        .iter()
-        .filter_map(|r| r.exp)
-        .all(|e| e == 5);
+    let exp_ok = trace.flow(1).iter().filter_map(|r| r.exp).all(|e| e == 5);
     (flows, exp_ok, ip.control_messages)
 }
 
@@ -101,7 +98,9 @@ pub fn measure(duration: Nanos, diffserv: bool) -> (Vec<Q4Flow>, bool, u64) {
 pub fn run(quick: bool) -> String {
     let duration = if quick { SEC } else { 5 * SEC };
     let mut out = String::new();
-    for (name, ds) in [("both carriers best-effort", false), ("both carriers DiffServ-on-EXP", true)] {
+    for (name, ds) in
+        [("both carriers best-effort", false), ("both carriers DiffServ-on-EXP", true)]
+    {
         let (flows, exp_ok, msgs) = measure(duration, ds);
         let mut t = Table::new(
             format!("Q4 [{name}] — EXP preserved across ASBRs: {exp_ok}, control messages: {msgs}"),
@@ -110,7 +109,9 @@ pub fn run(quick: bool) -> String {
         for f in &flows {
             let sla = if f.name.starts_with("voice") {
                 let s = Sla::backbone_voice();
-                if f.loss <= s.max_loss && f.mean_ns <= s.max_mean_latency_ns && f.p99_ns <= s.max_p99_latency_ns
+                if f.loss <= s.max_loss
+                    && f.mean_ns <= s.max_mean_latency_ns
+                    && f.p99_ns <= s.max_p99_latency_ns
                 {
                     "MET"
                 } else {

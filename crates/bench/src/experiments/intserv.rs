@@ -42,15 +42,11 @@ pub fn measure(n: usize) -> IntServPoint {
     for i in 0..n {
         let src = pes[i % pes.len()];
         let dst = pes[(i + 3) % pes.len()];
-        if d
-            .reserve(FlowRequest { id: FlowId(i as u64), src, dst, rate_bps: 64_000 })
-            .is_ok()
-        {
+        if d.reserve(FlowRequest { id: FlowId(i as u64), src, dst, rate_bps: 64_000 }).is_ok() {
             admitted += 1;
         }
     }
-    let diffserv_state =
-        (0..t.node_count()).map(|u| diffserv_node_state(&t, u)).max().unwrap_or(0);
+    let diffserv_state = (0..t.node_count()).map(|u| diffserv_node_state(&t, u)).max().unwrap_or(0);
     IntServPoint {
         flows: n,
         admitted,
@@ -63,8 +59,7 @@ pub fn measure(n: usize) -> IntServPoint {
 
 /// Runs the sweep and renders the table.
 pub fn run(quick: bool) -> String {
-    let sizes: Vec<usize> =
-        if quick { vec![100, 1_000] } else { vec![100, 1_000, 10_000, 50_000] };
+    let sizes: Vec<usize> = if quick { vec![100, 1_000] } else { vec![100, 1_000, 10_000, 50_000] };
     let mut t = Table::new(
         "S1: per-flow RSVP/IntServ state vs per-class DiffServ (8-PE national backbone, 64 kb/s flows)",
         &[

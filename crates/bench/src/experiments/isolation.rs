@@ -34,12 +34,13 @@ pub fn measure(vpn_count: usize, packets: u64) -> IsolationResult {
         let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
         let sink = pn.attach_sink(b, pfx("10.2.0.0/16"));
         let flow = 1 + k as u64;
-        let cfg =
-            SourceConfig::udp(flow, pn.site_addr(a, 10), pn.site_addr(b, 20), 5000, 256);
+        let cfg = SourceConfig::udp(flow, pn.site_addr(a, 10), pn.site_addr(b, 20), 5000, 256);
         pn.attach_cbr_source(a, cfg, MSEC, Some(packets));
         sinks.push(sink);
         flows.push(flow);
     }
+    // Static isolation proof over every VRF pair before the dynamic one.
+    pn.verify().assert_clean("isolation experiment");
     pn.run_for(3 * SEC);
 
     let mut per_vpn = Vec::new();
@@ -47,11 +48,8 @@ pub fn measure(vpn_count: usize, packets: u64) -> IsolationResult {
     for (k, &sink) in sinks.iter().enumerate() {
         let s = pn.net.node_ref::<Sink>(sink);
         let own = s.flow(flows[k]).map(|f| f.rx_packets).unwrap_or(0);
-        let foreign: u64 = s
-            .flows()
-            .filter(|(f, _)| *f != flows[k])
-            .map(|(_, st)| st.rx_packets)
-            .sum();
+        let foreign: u64 =
+            s.flows().filter(|(f, _)| *f != flows[k]).map(|(_, st)| st.rx_packets).sum();
         leaked += foreign;
         per_vpn.push((format!("vpn{k}"), packets, own));
     }

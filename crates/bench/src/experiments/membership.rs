@@ -25,13 +25,7 @@ pub fn run(quick: bool) -> String {
     let (mpls, overlay) = measure(n);
     let mut t = Table::new(
         "M1: cost of the k-th site join — MPLS/BGP vs overlay full mesh",
-        &[
-            "join #",
-            "mpls devices",
-            "mpls messages",
-            "ovl devices",
-            "ovl new circuits",
-        ],
+        &["join #", "mpls devices", "mpls messages", "ovl devices", "ovl new circuits"],
     );
     for k in 0..n {
         t.row(&[

@@ -5,8 +5,8 @@
 pub mod aqm;
 pub mod forwarding;
 pub mod interprovider;
-pub mod ipsec_qos;
 pub mod intserv;
+pub mod ipsec_qos;
 pub mod isolation;
 pub mod membership;
 pub mod qos;

@@ -12,7 +12,7 @@ use mplsvpn_core::network::DsSched;
 use mplsvpn_core::{BackboneBuilder, CoreQos, Sla};
 use netsim_net::addr::pfx;
 use netsim_qos::Nanos;
-use netsim_sim::{FlowStats, Sink, NodeId, SEC};
+use netsim_sim::{FlowStats, NodeId, Sink, SEC};
 
 use crate::mix::{attach_mix_provider, tx_packets, FlowDesc};
 use crate::table::{f2, ms, pct, Table};
@@ -84,14 +84,13 @@ pub fn measure(qos: CoreQos, duration: Nanos, seed: u64) -> (Vec<ClassRow>, f64)
     let vpn = pn.new_vpn("acme");
     let a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), None);
     let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
+    pn.verify().assert_clean("qos experiment");
     let sink = pn.attach_sink(b, pfx("10.2.0.0/16"));
     let flows = attach_mix_provider(&mut pn, a, b, 1, seed, duration);
     pn.run_for(duration + SEC); // drain
     let rows = class_rows(&pn.net, sink, &flows);
-    let util = pn
-        .net
-        .link_stats(netsim_sim::LinkId(topo::DUMBBELL_BOTTLENECK), 0)
-        .utilization(duration);
+    let util =
+        pn.net.link_stats(netsim_sim::LinkId(topo::DUMBBELL_BOTTLENECK), 0).utilization(duration);
     (rows, util)
 }
 
@@ -163,8 +162,7 @@ mod tests {
     /// FIFO.
     #[test]
     fn diffserv_protects_voice_fifo_does_not() {
-        let (fifo, util_f) =
-            measure(CoreQos::BestEffort { cap_bytes: 128 * 1024 }, 2 * SEC, 7);
+        let (fifo, util_f) = measure(CoreQos::BestEffort { cap_bytes: 128 * 1024 }, 2 * SEC, 7);
         let (ds, util_d) = measure(
             CoreQos::DiffServ { cap_bytes: 128 * 1024, sched: DsSched::Priority },
             2 * SEC,
@@ -193,8 +191,7 @@ mod tests {
     #[test]
     fn all_ds_schedulers_protect_voice() {
         for sched in [DsSched::Priority, DsSched::Wfq, DsSched::Drr] {
-            let (rows, _) =
-                measure(CoreQos::DiffServ { cap_bytes: 128 * 1024, sched }, 2 * SEC, 7);
+            let (rows, _) = measure(CoreQos::DiffServ { cap_bytes: 128 * 1024, sched }, 2 * SEC, 7);
             let v = row(&rows, "EF");
             assert!(v.loss < 0.02, "{sched:?} voice loss {}", v.loss);
             assert!(v.rx > 0);

@@ -38,6 +38,7 @@ pub fn measure(detection_ns: Nanos) -> ResilienceResult {
     let vpn = pn.new_vpn("acme");
     let a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), None);
     let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
+    pn.verify().assert_clean("resilience experiment, pre-cut");
     let sink = pn.attach_sink(b, pfx("10.2.0.0/16"));
     // 200 pps voice-like flow for 8 s.
     let interval = 5 * MSEC;

@@ -68,8 +68,7 @@ pub fn measure(n: usize) -> ScalePoint {
     for i in 0..n {
         fabric.advertise(handles[i % DEVICES], site_prefix(i));
     }
-    let mpls_max_pe_routes =
-        (0..DEVICES).map(|pe| fabric.pe_state(pe).1).max().unwrap_or(0);
+    let mpls_max_pe_routes = (0..DEVICES).map(|pe| fabric.pe_state(pe).1).max().unwrap_or(0);
 
     ScalePoint {
         n,

@@ -38,6 +38,7 @@ fn build() -> ProviderNetwork {
     let vpn = pn.new_vpn("acme");
     let _a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), None);
     let _b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
+    pn.verify().assert_clean("te experiment backbone");
     pn
 }
 
@@ -62,6 +63,10 @@ pub fn measure(with_te: bool, duration: Nanos) -> TeResult {
         // destination half of the site block (10.2.128.0/17) rides it.
         let ftn2 = pn.install_explicit_lsp(&p2);
         pn.pin_prefix_to_tunnel(vpn, 0, pfx("10.2.128.0/17"), ftn2);
+        // The pinned LSP and the trunk ledgers must both pass the verifier.
+        let mut report = pn.verify();
+        netsim_verify::verify_te(&te, &mut report);
+        report.assert_clean("te experiment, trunks placed");
         used_paths.push(p1);
         used_paths.push(p2);
     } else {
@@ -84,10 +89,8 @@ pub fn measure(with_te: bool, duration: Nanos) -> TeResult {
     let mut trunks = Vec::new();
     for flow in [1u64, 2] {
         let tx = duration / interval;
-        let (loss, mean) = s
-            .flow(flow)
-            .map(|f| (f.loss(tx), f.latency.mean() as u64))
-            .unwrap_or((1.0, 0));
+        let (loss, mean) =
+            s.flow(flow).map(|f| (f.loss(tx), f.latency.mean() as u64)).unwrap_or((1.0, 0));
         trunks.push((loss, mean, used_paths[(flow - 1) as usize].clone()));
     }
     TeResult {
@@ -112,12 +115,7 @@ pub fn run(quick: bool) -> String {
             &["trunk", "path", "loss", "mean ms"],
         );
         for (i, (loss, mean, path)) in r.trunks.iter().enumerate() {
-            t.row(&[
-                format!("T{}", i + 1),
-                format!("{path:?}"),
-                pct(*loss),
-                ms(*mean),
-            ]);
+            t.row(&[format!("T{}", i + 1), format!("{path:?}"), pct(*loss), ms(*mean)]);
         }
         out.push_str(&t.render());
         out.push('\n');

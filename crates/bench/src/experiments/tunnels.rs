@@ -39,12 +39,8 @@ pub fn measure() -> (Vec<TunnelRecord>, u64) {
     let fecs: Vec<(Fec, usize)> =
         pes.iter().enumerate().map(|(k, &pe)| (Fec(k as u32), pe)).collect();
     let nh = |u: usize, v: usize| igp_probe.next_hop(u, v);
-    let ldp = netsim_mpls::LdpDomain::run(
-        &adjacency,
-        &fecs,
-        &nh,
-        netsim_mpls::LdpConfig::default(),
-    );
+    let ldp =
+        netsim_mpls::LdpDomain::run(&adjacency, &fecs, &nh, netsim_mpls::LdpConfig::default());
 
     let mut records = Vec::new();
     let walk_pairs = |vpn: &str, members: &[usize], records: &mut Vec<TunnelRecord>| {
@@ -101,16 +97,12 @@ fn data_plane_check() -> String {
     let v1 = pn.new_vpn("V1");
     let a = pn.add_site(v1, 0, pfx("10.1.0.0/16"), None);
     let c = pn.add_site(v1, 2, pfx("10.3.0.0/16"), None);
+    pn.verify().assert_clean("tunnel-state data-plane check");
     let sink = pn.attach_sink(c, pfx("10.3.0.0/16"));
     let cfg = SourceConfig::udp(1, pn.site_addr(a, 1), pn.site_addr(c, 1), 5000, 200);
     pn.attach_cbr_source(a, cfg, MSEC, Some(100));
     pn.run_for(SEC);
-    let got = pn
-        .net
-        .node_ref::<Sink>(sink)
-        .flow(1)
-        .map(|f| f.rx_packets)
-        .unwrap_or(0);
+    let got = pn.net.node_ref::<Sink>(sink).flow(1).map(|f| f.rx_packets).unwrap_or(0);
     format!("data-plane check: 100 packets offered over V1 PE0→PE2, {got} delivered\n")
 }
 

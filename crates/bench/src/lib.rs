@@ -24,11 +24,10 @@ pub fn parallel_sweep<T: Send, F>(jobs: Vec<F>) -> Vec<T>
 where
     F: FnOnce() -> T + Send,
 {
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = jobs.into_iter().map(|j| s.spawn(|_| j())).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = jobs.into_iter().map(|j| s.spawn(j)).collect();
         handles.into_iter().map(|h| h.join().expect("sweep job panicked")).collect()
     })
-    .expect("sweep scope")
 }
 
 #[cfg(test)]

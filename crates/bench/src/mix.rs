@@ -61,7 +61,8 @@ fn mix_specs() -> Vec<Spec> {
     let mut v = Vec::new();
     // 8 G.711-like voice flows: 160 B @ 20 ms = 75 kb/s each on the wire.
     for i in 0..8 {
-        let names = ["voice0", "voice1", "voice2", "voice3", "voice4", "voice5", "voice6", "voice7"];
+        let names =
+            ["voice0", "voice1", "voice2", "voice3", "voice4", "voice5", "voice6", "voice7"];
         v.push(Spec {
             name: names[i],
             class: "EF",
@@ -158,7 +159,14 @@ pub fn attach_mix_provider(
                 Some(until),
             ),
         };
-        out.push(FlowDesc { id, name: spec.name, class: spec.class, dscp: spec.dscp, src: node, kind: spec.kind });
+        out.push(FlowDesc {
+            id,
+            name: spec.name,
+            class: spec.class,
+            dscp: spec.dscp,
+            src: node,
+            kind: spec.kind,
+        });
     }
     out
 }
@@ -184,7 +192,12 @@ pub fn attach_mix_ipsec(
         let node = match spec.kind {
             SourceKind::Cbr => n.attach_cbr_source(from, cfg, spec.interval, Some(count)),
             SourceKind::Poisson => {
-                let src = n.net.add_node(Box::new(PoissonSource::new(cfg, spec.interval, seed + i as u64, Some(until))));
+                let src = n.net.add_node(Box::new(PoissonSource::new(
+                    cfg,
+                    spec.interval,
+                    seed + i as u64,
+                    Some(until),
+                )));
                 wire_extra_host(n, from, src);
                 src
             }
@@ -199,11 +212,25 @@ pub fn attach_mix_ipsec(
                 )));
                 wire_extra_host(n, from, src);
                 n.net.arm_timer(src, 0, 1);
-                out.push(FlowDesc { id, name: spec.name, class: spec.class, dscp: spec.dscp, src, kind: spec.kind });
+                out.push(FlowDesc {
+                    id,
+                    name: spec.name,
+                    class: spec.class,
+                    dscp: spec.dscp,
+                    src,
+                    kind: spec.kind,
+                });
                 continue;
             }
         };
-        out.push(FlowDesc { id, name: spec.name, class: spec.class, dscp: spec.dscp, src: node, kind: spec.kind });
+        out.push(FlowDesc {
+            id,
+            name: spec.name,
+            class: spec.class,
+            dscp: spec.dscp,
+            src: node,
+            kind: spec.kind,
+        });
     }
     out
 }

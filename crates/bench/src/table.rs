@@ -11,7 +11,7 @@ impl Table {
     /// Creates a table with a title and column headers.
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
         Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(std::string::ToString::to_string).collect(),
             rows: Vec::new(),
             title: title.into(),
         }
@@ -25,7 +25,7 @@ impl Table {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for r in &self.rows {
             for (i, c) in r.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

@@ -19,7 +19,7 @@
 use netsim_mpls::ldp::{Fec, LdpConfig, LdpDomain};
 use netsim_mpls::lfib::{LabelOp, Nhlfe};
 use netsim_mpls::Lfib;
-use netsim_net::{Prefix};
+use netsim_net::Prefix;
 use netsim_qos::{MarkingPolicy, Nanos};
 use netsim_routing::{Igp, Topology};
 use netsim_sim::{CbrSource, LinkConfig, Network, NodeId, Sink, SourceConfig};
@@ -93,8 +93,8 @@ impl InterProviderVpn {
         let y_b = ldp_b.nodes[b.asbr].space.allocate(); // ASBR_B re-advertises prefix_b as Y
         let x_a = ldp_b.nodes[b.asbr].space.allocate(); // ASBR_B re-advertises prefix_a
         let y_a = ldp_a.nodes[a.asbr].space.allocate(); // ASBR_A re-advertises prefix_a
-        // Route exchange: PE→ASBR (iBGP), ASBR↔ASBR (eBGP), ASBR→PE (iBGP),
-        // per prefix and direction.
+                                                        // Route exchange: PE→ASBR (iBGP), ASBR↔ASBR (eBGP), ASBR→PE (iBGP),
+                                                        // per prefix and direction.
         control_messages += 2 * 3;
 
         // Materialize both domains in one simulator.
@@ -114,14 +114,17 @@ impl InterProviderVpn {
         for l in 0..a.topo.link_count() {
             let (u, v, attrs) = a.topo.link(l);
             let cfg = LinkConfig::new(attrs.capacity_bps, link_delay_ns);
-            let (qa, qb) = (make_core_qdisc(&qos, 2 * l as u64), make_core_qdisc(&qos, 2 * l as u64 + 1));
+            let (qa, qb) =
+                (make_core_qdisc(&qos, 2 * l as u64), make_core_qdisc(&qos, 2 * l as u64 + 1));
             net.connect_with_qdiscs(id_a(u), id_a(v), cfg, cfg, qa, qb);
         }
         for l in 0..b.topo.link_count() {
             let (u, v, attrs) = b.topo.link(l);
             let cfg = LinkConfig::new(attrs.capacity_bps, link_delay_ns);
-            let (qa, qb) =
-                (make_core_qdisc(&qos, 1000 + 2 * l as u64), make_core_qdisc(&qos, 1001 + 2 * l as u64));
+            let (qa, qb) = (
+                make_core_qdisc(&qos, 1000 + 2 * l as u64),
+                make_core_qdisc(&qos, 1001 + 2 * l as u64),
+            );
             net.connect_with_qdiscs(id_b(u), id_b(v), cfg, cfg, qa, qb);
         }
         // Inter-AS link: next free iface on both ASBRs (= their degree).
@@ -213,7 +216,8 @@ impl InterProviderVpn {
     /// Attaches a sink behind the domain-B site.
     pub fn attach_sink_b(&mut self, host_prefix: Prefix) -> NodeId {
         let sink = self.net.add_node(Box::new(Sink::new()));
-        let (_l, _s, ce_if) = self.net.connect(sink, self.ce_b, LinkConfig::new(1_000_000_000, 10_000));
+        let (_l, _s, ce_if) =
+            self.net.connect(sink, self.ce_b, LinkConfig::new(1_000_000_000, 10_000));
         self.net.node_mut::<CeRouter>(self.ce_b).add_host_route(host_prefix, ce_if.0);
         sink
     }
@@ -221,7 +225,8 @@ impl InterProviderVpn {
     /// Attaches a sink behind the domain-A site.
     pub fn attach_sink_a(&mut self, host_prefix: Prefix) -> NodeId {
         let sink = self.net.add_node(Box::new(Sink::new()));
-        let (_l, _s, ce_if) = self.net.connect(sink, self.ce_a, LinkConfig::new(1_000_000_000, 10_000));
+        let (_l, _s, ce_if) =
+            self.net.connect(sink, self.ce_a, LinkConfig::new(1_000_000_000, 10_000));
         self.net.node_mut::<CeRouter>(self.ce_a).add_host_route(host_prefix, ce_if.0);
         sink
     }
@@ -296,7 +301,8 @@ mod tests {
     fn cross_carrier_traffic_flows_both_ways() {
         let mut ip = build();
         let sink_b = ip.attach_sink_b(pfx("10.2.0.0/16"));
-        let cfg = SourceConfig::udp(1, pfx("10.1.0.0/16").nth(5), pfx("10.2.0.0/16").nth(9), 5000, 200);
+        let cfg =
+            SourceConfig::udp(1, pfx("10.1.0.0/16").nth(5), pfx("10.2.0.0/16").nth(9), 5000, 200);
         ip.attach_cbr_source_a(cfg, 1_000_000, Some(25));
         ip.net.run_until(SEC);
         assert_eq!(ip.net.node_ref::<Sink>(sink_b).flow(1).map(|f| f.rx_packets), Some(25));

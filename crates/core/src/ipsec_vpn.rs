@@ -14,7 +14,9 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use netsim_ipsec::{decapsulate, encapsulate, CryptoCostModel, IkeProposal, IpsecError, SecurityAssociation};
+use netsim_ipsec::{
+    decapsulate, encapsulate, CryptoCostModel, IkeProposal, IpsecError, SecurityAssociation,
+};
 use netsim_net::{Ip, LpmTrie, Packet, Prefix};
 use netsim_qos::{MarkingPolicy, Nanos};
 use netsim_routing::{Igp, Topology};
@@ -228,7 +230,12 @@ impl IpsecVpnNetwork {
 
     /// Adds a gateway at backbone node `attach`, serving `prefix`, with
     /// public address `203.0.113.<n>`.
-    pub fn add_gateway(&mut self, attach: usize, prefix: Prefix, marking: Option<MarkingPolicy>) -> GwId {
+    pub fn add_gateway(
+        &mut self,
+        attach: usize,
+        prefix: Prefix,
+        marking: Option<MarkingPolicy>,
+    ) -> GwId {
         let n = self.gws.len() as u8;
         let public_ip = Ip::new(203, 0, 113, n + 1);
         let gw = IpsecGateway::new(format!("GW{n}"), public_ip, marking);
@@ -309,7 +316,8 @@ impl IpsecVpnNetwork {
     pub fn attach_sink(&mut self, gw: GwId, host_prefix: Prefix) -> NodeId {
         let gnode = self.gws[gw.0].node;
         let sink = self.net.add_node(Box::new(Sink::new()));
-        let (_l, _s_if, g_if) = self.net.connect(sink, gnode, LinkConfig::new(1_000_000_000, 10_000));
+        let (_l, _s_if, g_if) =
+            self.net.connect(sink, gnode, LinkConfig::new(1_000_000_000, 10_000));
         self.net.node_mut::<IpsecGateway>(gnode).local.insert(host_prefix, g_if.0);
         sink
     }

@@ -41,8 +41,11 @@ pub mod overlay;
 pub mod router;
 pub mod sla;
 pub mod trace;
+mod verify;
 
+pub use netsim_verify::{codes, Diagnostic, Severity, VerifyReport};
 pub use network::{BackboneBuilder, CoreQos, ProviderNetwork, SiteId, VpnId};
 pub use router::{CeRouter, CoreRouter, PeRouter};
 pub use sla::{voice_mos, Sla, SlaReport};
 pub use trace::{HopRecord, TraceLog};
+pub use verify::EF_SHARE;

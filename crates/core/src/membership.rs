@@ -104,10 +104,7 @@ mod tests {
         assert!(costs.iter().all(|c| c.devices_touched == 1));
         let late = costs[15].control_messages;
         let early = costs[1].control_messages;
-        assert!(
-            late <= early + 16,
-            "join cost must not grow linearly: early={early} late={late}"
-        );
+        assert!(late <= early + 16, "join cost must not grow linearly: early={early} late={late}");
         assert!(costs.iter().all(|c| c.new_circuits == 0));
     }
 

@@ -22,7 +22,9 @@ use netsim_qos::{
     queue::class_by_exp_or_dscp, ClassOf, DrrScheduler, FifoQueue, MarkingPolicy, Nanos,
     QueueDiscipline, RedParams, RedQueue, WfqScheduler,
 };
-use netsim_routing::{BgpVpnFabric, DistributionMode, Igp, RouteDistinguisher, RouteTarget, Topology, VrfHandle};
+use netsim_routing::{
+    BgpVpnFabric, DistributionMode, Igp, RouteDistinguisher, RouteTarget, Topology, VrfHandle,
+};
 use netsim_sim::{
     CbrSource, IfaceId, LinkConfig, LinkId, Network, NodeId, OnOffSource, PoissonSource, Sink,
     SourceConfig,
@@ -135,10 +137,10 @@ pub struct SiteInfo {
     pub pe_iface: usize,
 }
 
-struct VpnInfo {
-    name: String,
-    rt: RouteTarget,
-    rd: RouteDistinguisher,
+pub(crate) struct VpnInfo {
+    pub(crate) name: String,
+    pub(crate) rt: RouteTarget,
+    pub(crate) rd: RouteDistinguisher,
 }
 
 /// Builder for a [`ProviderNetwork`].
@@ -275,6 +277,9 @@ impl BackboneBuilder {
             trace: self.trace,
             php: self.php,
             failed_links: std::collections::HashSet::new(),
+            core_qos: self.core_qos,
+            extranets: Vec::new(),
+            ef_contracts: Vec::new(),
         }
     }
 }
@@ -291,17 +296,20 @@ pub struct ProviderNetwork {
     pub ldp: LdpDomain,
     /// The BGP/MPLS VPN route fabric.
     pub fabric: BgpVpnFabric,
-    node_ids: Vec<NodeId>,
-    pes: Vec<usize>,
-    vpns: Vec<VpnInfo>,
+    pub(crate) node_ids: Vec<NodeId>,
+    pub(crate) pes: Vec<usize>,
+    pub(crate) vpns: Vec<VpnInfo>,
     /// All sites added so far, indexed by [`SiteId`].
     pub sites: Vec<SiteInfo>,
-    vrf_handles: HashMap<(usize, VpnId), (VrfHandle, usize)>,
+    pub(crate) vrf_handles: HashMap<(usize, VpnId), (VrfHandle, usize)>,
     access_rate_bps: u64,
     access_delay_ns: Nanos,
     trace: Option<TraceLog>,
     php: bool,
     failed_links: std::collections::HashSet<usize>,
+    pub(crate) core_qos: CoreQos,
+    pub(crate) extranets: Vec<(VpnId, VpnId)>,
+    pub(crate) ef_contracts: Vec<netsim_verify::EfContract>,
 }
 
 impl ProviderNetwork {
@@ -371,10 +379,8 @@ impl ProviderNetwork {
         };
 
         // CE device + access link (CE first so its uplink is iface 0).
-        let mut ce = CeRouter::new(
-            format!("CE-{}-s{}", self.vpns[vpn.0].name, self.sites.len()),
-            marking,
-        );
+        let mut ce =
+            CeRouter::new(format!("CE-{}-s{}", self.vpns[vpn.0].name, self.sites.len()), marking);
         if let Some(t) = &self.trace {
             ce = ce.with_trace(t.clone());
         }
@@ -424,12 +430,8 @@ impl ProviderNetwork {
         };
         let (handle, vrf_idx) = self.vrf_handles[&(pe, vpn)];
         // The VPN label this home advertised for the prefix.
-        let label = self
-            .fabric
-            .local_routes(handle)
-            .iter()
-            .find(|(p, _)| *p == prefix)
-            .map(|(_, l)| *l);
+        let label =
+            self.fabric.local_routes(handle).iter().find(|(p, _)| *p == prefix).map(|(_, l)| *l);
         self.fabric.withdraw(handle, prefix);
         {
             let per = self.net.node_mut::<PeRouter>(self.pe_node(pe));
@@ -448,8 +450,7 @@ impl ProviderNetwork {
             if vpn2 != vpn || pe2 == pe {
                 continue;
             }
-            let still_local =
-                self.fabric.local_routes(h2).iter().any(|(p, _)| *p == prefix);
+            let still_local = self.fabric.local_routes(h2).iter().any(|(p, _)| *p == prefix);
             if !still_local && self.fabric.routes(h2).get(prefix).is_none() {
                 let node = self.pe_node(pe2);
                 self.net.node_mut::<PeRouter>(node).vrfs[v2].fib.remove(prefix);
@@ -647,8 +648,11 @@ impl ProviderNetwork {
         let mut label_in: Vec<Option<u32>> = vec![None; path.len()];
         for i in (1..path.len()).rev() {
             let is_egress = i == path.len() - 1;
-            label_in[i] =
-                if is_egress && php { None } else { Some(self.ldp.nodes[path[i]].space.allocate()) };
+            label_in[i] = if is_egress && php {
+                None
+            } else {
+                Some(self.ldp.nodes[path[i]].space.allocate())
+            };
         }
         for (i, &u) in path.iter().enumerate() {
             let is_egress = i == path.len() - 1;
@@ -959,7 +963,8 @@ mod tests {
                 .core_qos(CoreQos::DiffServ { cap_bytes: 512 * 1024, sched })
                 .build();
             let vpn = pn.new_vpn("acme");
-            let a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), Some(MarkingPolicy::enterprise_default()));
+            let a =
+                pn.add_site(vpn, 0, pfx("10.1.0.0/16"), Some(MarkingPolicy::enterprise_default()));
             let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
             let sink = pn.attach_sink(b, pfx("10.2.0.0/16"));
             let cfg = SourceConfig::udp(1, pn.site_addr(a, 10), pn.site_addr(b, 9), 16400, 160);

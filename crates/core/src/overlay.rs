@@ -193,11 +193,16 @@ impl OverlayNetwork {
     pub fn build(topo: Topology, link_delay_ns: Nanos) -> Self {
         let igp = Igp::converge(&topo);
         let mut net = Network::new();
-        let node_ids: Vec<NodeId> =
-            (0..topo.node_count()).map(|u| net.add_node(Box::new(VcSwitch::new(format!("SW{u}"))))).collect();
+        let node_ids: Vec<NodeId> = (0..topo.node_count())
+            .map(|u| net.add_node(Box::new(VcSwitch::new(format!("SW{u}")))))
+            .collect();
         for l in 0..topo.link_count() {
             let (u, v, attrs) = topo.link(l);
-            net.connect(node_ids[u], node_ids[v], LinkConfig::new(attrs.capacity_bps, link_delay_ns));
+            net.connect(
+                node_ids[u],
+                node_ids[v],
+                LinkConfig::new(attrs.capacity_bps, link_delay_ns),
+            );
         }
         let n = topo.node_count();
         OverlayNetwork {
@@ -217,9 +222,7 @@ impl OverlayNetwork {
 
     /// Adds a site homed on switch `switch` with address block `prefix`.
     pub fn add_site(&mut self, switch: usize, prefix: Prefix) -> OverlaySiteId {
-        let edge = self
-            .net
-            .add_node(Box::new(VcEdge::new(format!("EDGE{}", self.sites.len()))));
+        let edge = self.net.add_node(Box::new(VcEdge::new(format!("EDGE{}", self.sites.len()))));
         let cfg = LinkConfig::new(self.access_rate_bps, self.access_delay_ns);
         let (_l, _e_if, sw_if) = self.net.connect(edge, self.node_ids[switch], cfg);
         self.extra_ifaces[switch] += 1;
@@ -308,7 +311,8 @@ impl OverlayNetwork {
     pub fn attach_sink(&mut self, site: OverlaySiteId, host_prefix: Prefix) -> NodeId {
         let edge = self.sites[site.0].edge;
         let sink = self.net.add_node(Box::new(Sink::new()));
-        let (_l, _s_if, e_if) = self.net.connect(sink, edge, LinkConfig::new(1_000_000_000, 10_000));
+        let (_l, _s_if, e_if) =
+            self.net.connect(sink, edge, LinkConfig::new(1_000_000_000, 10_000));
         self.net.node_mut::<VcEdge>(edge).local.insert(host_prefix, e_if.0);
         sink
     }
@@ -390,8 +394,9 @@ mod tests {
         // Single switch, 10 sites: 45 circuit pairs (the paper's number).
         let topo = Topology::new(1);
         let mut ov = OverlayNetwork::build(topo, 1_000_000);
-        let sites: Vec<OverlaySiteId> =
-            (0..10).map(|i| ov.add_site(0, Prefix::new(netsim_net::Ip((10 << 24) | (i << 16)), 16))).collect();
+        let sites: Vec<OverlaySiteId> = (0..10)
+            .map(|i| ov.add_site(0, Prefix::new(netsim_net::Ip((10 << 24) | (i << 16)), 16)))
+            .collect();
         ov.full_mesh(&sites);
         assert_eq!(ov.circuit_pairs(), 45);
         // Each unidirectional PVC crosses the single switch once.

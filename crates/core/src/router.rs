@@ -63,7 +63,13 @@ pub struct CoreRouter {
 impl CoreRouter {
     /// Creates a P router with an empty FIB.
     pub fn new(name: impl Into<String>, lfib: Lfib) -> Self {
-        CoreRouter { name: name.into(), lfib, fib: LpmTrie::new(), counters: RouterCounters::default(), trace: None }
+        CoreRouter {
+            name: name.into(),
+            lfib,
+            fib: LpmTrie::new(),
+            counters: RouterCounters::default(),
+            trace: None,
+        }
     }
 
     /// Attaches a trace log.
@@ -291,7 +297,9 @@ impl PeRouter {
                 // out-of-profile would be dropped by a strict contract, but
                 // the default here is lenient).
                 if let Some(hdr) = pkt.outer_ipv4_mut() {
-                    if let (Some(c), Some(dp)) = (hdr.dscp.af_class(), hdr.dscp.af_drop_precedence()) {
+                    if let (Some(c), Some(dp)) =
+                        (hdr.dscp.af_class(), hdr.dscp.af_drop_precedence())
+                    {
                         hdr.dscp = Dscp::af(c, (dp + 1).min(3));
                     }
                 }
@@ -327,7 +335,12 @@ impl PeRouter {
             VrfRoute::Local { out_iface } => {
                 self.counters.forwarded += 1;
                 if let Some(t) = &self.trace {
-                    t.record(ctx.now(), &self.name, format!("vrf{vrf} local → if{out_iface}"), &pkt);
+                    t.record(
+                        ctx.now(),
+                        &self.name,
+                        format!("vrf{vrf} local → if{out_iface}"),
+                        &pkt,
+                    );
                 }
                 ctx.send(IfaceId(out_iface), pkt);
             }
@@ -619,10 +632,10 @@ mod tests {
         // Backbone first so core ifaces are 0.
         net.connect(pe0_id, p_id, fast()); // PE0 if0 ↔ P if0
         net.connect(p_id, pe1_id, fast()); // P if1 ↔ PE1 if0
-        // Access links: CE uplink is CE iface 0.
+                                           // Access links: CE uplink is CE iface 0.
         net.connect(ce0_id, pe0_id, fast()); // CE0 if0 ↔ PE0 if1
         net.connect(ce1_id, pe1_id, fast()); // CE1 if0 ↔ PE1 if1
-        // Hosts.
+                                             // Hosts.
         net.connect(host_id, ce0_id, fast()); // host if0 ↔ CE0 if1
         net.connect(sink_id, ce1_id, fast()); // sink if0 ↔ CE1 if1
 
@@ -738,9 +751,17 @@ mod tests {
         // 1. A payload-only frame with no headers at all, from the customer.
         net.inject(cust_peer, IfaceId(0), Packet::new(vec![], b"junk".as_slice().into()));
         // 2. An unlabeled IP packet arriving from the core (control plane).
-        net.inject(core_peer, IfaceId(0), Packet::udp(ip("9.9.9.9"), ip("8.8.8.8"), 1, 2, Dscp::BE, 8));
+        net.inject(
+            core_peer,
+            IfaceId(0),
+            Packet::udp(ip("9.9.9.9"), ip("8.8.8.8"), 1, 2, Dscp::BE, 8),
+        );
         // 3. A customer packet with no matching VRF route.
-        net.inject(cust_peer, IfaceId(0), Packet::udp(ip("10.0.0.1"), ip("172.31.0.1"), 1, 2, Dscp::BE, 8));
+        net.inject(
+            cust_peer,
+            IfaceId(0),
+            Packet::udp(ip("10.0.0.1"), ip("172.31.0.1"), 1, 2, Dscp::BE, 8),
+        );
         // 4. A customer packet with TTL 1 (dies at the PE).
         let mut dying = Packet::udp(ip("10.0.0.1"), ip("172.31.0.1"), 1, 2, Dscp::BE, 8);
         dying.outer_ipv4_mut().unwrap().ttl = 1;

@@ -17,8 +17,7 @@ struct Deployment {
 }
 
 fn arb_deployment() -> impl Strategy<Value = Deployment> {
-    proptest::collection::vec((0usize..3, 0usize..3), 2..6)
-        .prop_map(|sites| Deployment { sites })
+    proptest::collection::vec((0usize..3, 0usize..3), 2..6).prop_map(|sites| Deployment { sites })
 }
 
 fn backbone() -> (Topology, Vec<usize>) {

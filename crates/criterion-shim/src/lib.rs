@@ -1,0 +1,219 @@
+//! Vendored, dependency-free subset of the `criterion` bench harness.
+//!
+//! Provides the same authoring API the workspace benches use
+//! (`criterion_group!`, `benchmark_group`, `bench_with_input`, `iter`, ...)
+//! with a simple calibrated-timing backend: each benchmark is warmed up,
+//! then run for a fixed wall-clock budget, and the mean per-iteration time
+//! (plus optional throughput) is printed to stdout. No plotting, no
+//! statistics beyond the mean — enough to compare runs by eye offline.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Declared throughput of one benchmark, used to derive rate output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendered inline.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { full: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Creates an id from the parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { full: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Per-iteration timing loop handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch-size calibration: aim for batches >= ~1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= (1 << 20) {
+                break;
+            }
+            batch *= 8;
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.total += start.elapsed();
+            self.iters += batch;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Ignored; accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Ignored; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) {}
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0, budget: self.criterion.budget };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                b.total.as_nanos() as f64 / b.iters as f64
+            }
+        };
+        let rate = match (self.throughput, mean_ns > 0.0) {
+            (Some(Throughput::Elements(n)), true) => {
+                #[allow(clippy::cast_precision_loss)]
+                let eps = n as f64 * 1e9 / mean_ns;
+                format!("  {eps:.3e} elem/s")
+            }
+            (Some(Throughput::Bytes(n)), true) => {
+                #[allow(clippy::cast_precision_loss)]
+                let bps = n as f64 * 1e9 / mean_ns;
+                format!("  {:.1} MiB/s", bps / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {mean_ns:.1} ns/iter ({} iters){rate}", self.name, b.iters);
+    }
+
+    /// Finishes the group (no-op; output is printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle passed to each `criterion_group!` target.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep full `cargo bench` runs fast; CRITERION_BUDGET_MS overrides.
+        let ms =
+            std::env::var("CRITERION_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+        Self { budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Benchmark group entry point (generated by `criterion_group!`)."]
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("CRITERION_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

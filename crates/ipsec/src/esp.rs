@@ -72,7 +72,12 @@ impl CryptoCostModel {
 /// Encapsulates `inner` in ESP tunnel mode under `sa`, producing the outer
 /// packet addressed `outer_src → outer_dst`. Simulation metadata is
 /// carried over so measurement survives the tunnel.
-pub fn encapsulate(inner: &Packet, sa: &mut SecurityAssociation, outer_src: Ip, outer_dst: Ip) -> Packet {
+pub fn encapsulate(
+    inner: &Packet,
+    sa: &mut SecurityAssociation,
+    outer_src: Ip,
+    outer_dst: Ip,
+) -> Packet {
     let inner_bytes = wire::encode(inner).expect("inner packet must be encodable");
     let seq = sa.next_seq();
 
@@ -100,8 +105,11 @@ pub fn encapsulate(inner: &Packet, sa: &mut SecurityAssociation, outer_src: Ip, 
     auth_scope.extend_from_slice(&payload);
     payload.extend_from_slice(&icv(sa.auth_key, &auth_scope));
 
-    let outer_dscp =
-        if sa.copy_dscp { inner.outer_ipv4().map(|h| h.dscp).unwrap_or(Dscp::BE) } else { Dscp::BE };
+    let outer_dscp = if sa.copy_dscp {
+        inner.outer_ipv4().map(|h| h.dscp).unwrap_or(Dscp::BE)
+    } else {
+        Dscp::BE
+    };
     let mut outer = Packet::new(
         vec![
             Layer::Ipv4(Ipv4Header::new(outer_src, outer_dst, proto::ESP, outer_dscp)),

@@ -88,7 +88,8 @@ mod tests {
 
     #[test]
     fn both_directions_get_distinct_sas() {
-        let x = establish(IkeProposal { initiator_secret: 11, responder_secret: 22, spi_base: 0x500 });
+        let x =
+            establish(IkeProposal { initiator_secret: 11, responder_secret: 22, spi_base: 0x500 });
         assert_ne!(x.sas.out_sa.spi, x.sas.in_sa.spi);
         assert_ne!(x.sas.out_sa.enc_key, x.sas.in_sa.enc_key);
         assert_ne!(x.sas.out_sa.enc_key, x.sas.out_sa.auth_key);
@@ -116,7 +117,8 @@ mod tests {
     fn sas_interoperate_with_esp() {
         use netsim_net::addr::ip;
         use netsim_net::{Dscp, Packet};
-        let x = establish(IkeProposal { initiator_secret: 3, responder_secret: 9, spi_base: 0x700 });
+        let x =
+            establish(IkeProposal { initiator_secret: 3, responder_secret: 9, spi_base: 0x700 });
         let mut tx = x.sas.out_sa.clone();
         let mut rx = x.sas.out_sa.clone();
         let inner = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::AF21, 99);

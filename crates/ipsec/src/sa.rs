@@ -60,7 +60,14 @@ pub struct SecurityAssociation {
 impl SecurityAssociation {
     /// Creates an SA.
     pub fn new(spi: u32, enc_key: u64, auth_key: u64) -> Self {
-        SecurityAssociation { spi, enc_key, auth_key, seq: 0, replay: ReplayWindow::default(), copy_dscp: false }
+        SecurityAssociation {
+            spi,
+            enc_key,
+            auth_key,
+            seq: 0,
+            replay: ReplayWindow::default(),
+            copy_dscp: false,
+        }
     }
 
     /// Enables DSCP copying to the outer header.

@@ -155,10 +155,10 @@ mod tests {
     fn teardown_releases_everything() {
         let (mut spaces, mut lfibs) = mk(4);
         let lsp = signal_explicit_lsp(&[0, 1, 2, 3], &mut spaces, &mut lfibs, &iface, false);
-        assert!(spaces.iter().map(|s| s.live()).sum::<u64>() > 0);
+        assert!(spaces.iter().map(crate::label::LabelSpace::live).sum::<u64>() > 0);
         lsp.tear_down(&mut spaces, &mut lfibs);
-        assert_eq!(spaces.iter().map(|s| s.live()).sum::<u64>(), 0);
-        assert!(lfibs.iter().all(|f| f.is_empty()));
+        assert_eq!(spaces.iter().map(crate::label::LabelSpace::live).sum::<u64>(), 0);
+        assert!(lfibs.iter().all(crate::lfib::Lfib::is_empty));
     }
 
     #[test]

@@ -149,9 +149,9 @@ impl LdpDomain {
                     .iter()
                     .position(|&v| v == m.from)
                     .expect("mapping sender must be a neighbor");
-                let op = if m.label == IMPLICIT_NULL { LabelOp::Pop } else { LabelOp::Swap(m.label) };
-                let push =
-                    if m.label == IMPLICIT_NULL { Vec::new() } else { vec![m.label] };
+                let op =
+                    if m.label == IMPLICIT_NULL { LabelOp::Pop } else { LabelOp::Swap(m.label) };
+                let push = if m.label == IMPLICIT_NULL { Vec::new() } else { vec![m.label] };
                 node.ftn.insert(m.fec, FtnEntry { push, out_iface });
                 match node.bindings.get(&m.fec) {
                     Some(&local) => {
@@ -163,7 +163,12 @@ impl LdpDomain {
                         node.bindings.insert(m.fec, local);
                         node.lfib.install(local, Nhlfe { op, out_iface });
                         for &nb in &adjacency[m.to] {
-                            next_queue.push(Mapping { from: m.to, to: nb, fec: m.fec, label: local });
+                            next_queue.push(Mapping {
+                                from: m.to,
+                                to: nb,
+                                fec: m.fec,
+                                label: local,
+                            });
                             messages += 1;
                         }
                     }
@@ -234,7 +239,9 @@ mod tests {
 
     /// Hop-count next-hop on an adjacency list via BFS (deterministic:
     /// lowest neighbor id wins ties).
-    pub(crate) fn bfs_next_hop(adjacency: &[Vec<usize>]) -> impl Fn(usize, usize) -> Option<usize> + '_ {
+    pub(crate) fn bfs_next_hop(
+        adjacency: &[Vec<usize>],
+    ) -> impl Fn(usize, usize) -> Option<usize> + '_ {
         move |from: usize, to: usize| {
             if from == to {
                 return None;

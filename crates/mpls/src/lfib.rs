@@ -115,6 +115,12 @@ impl Lfib {
         self.entries == 0
     }
 
+    /// Iterates over the installed `(incoming label, NHLFE)` pairs, in
+    /// label order. This is how the static verifier walks the ILM.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Nhlfe)> + '_ {
+        self.ilm.iter().enumerate().filter_map(|(label, e)| e.as_ref().map(|n| (label as u32, n)))
+    }
+
     /// Applies this LSR's forwarding to a labeled packet in place:
     /// TTL check + ILM lookup + label operation.
     pub fn forward(&self, pkt: &mut Packet) -> LfibVerdict {

@@ -159,11 +159,11 @@ proptest! {
         prop_assert_eq!(at, len - 1, "chain must end at the egress");
         prop_assert!(hops <= len);
 
-        let live: u64 = spaces.iter().map(|s| s.live()).sum();
+        let live: u64 = spaces.iter().map(netsim_mpls::LabelSpace::live).sum();
         prop_assert_eq!(live as usize, if php { len - 2 } else { len - 1 });
         lsp.tear_down(&mut spaces, &mut lfibs);
-        prop_assert_eq!(spaces.iter().map(|s| s.live()).sum::<u64>(), 0);
-        prop_assert!(lfibs.iter().all(|f| f.is_empty()));
+        prop_assert_eq!(spaces.iter().map(netsim_mpls::LabelSpace::live).sum::<u64>(), 0);
+        prop_assert!(lfibs.iter().all(netsim_mpls::Lfib::is_empty));
     }
 
     /// LFIB forward over arbitrary swap entries preserves EXP and

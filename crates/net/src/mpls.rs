@@ -50,7 +50,9 @@ impl MplsLabel {
     /// bottom-of-stack bit.
     #[inline]
     pub fn encode(self, bottom_of_stack: bool) -> u32 {
-        (self.label << 12) | (u32::from(self.exp) << 9) | (u32::from(bottom_of_stack) << 8)
+        (self.label << 12)
+            | (u32::from(self.exp) << 9)
+            | (u32::from(bottom_of_stack) << 8)
             | u32::from(self.ttl)
     }
 

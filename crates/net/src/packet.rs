@@ -92,7 +92,14 @@ impl Packet {
     }
 
     /// Convenience: a UDP datagram with `payload_len` zero bytes of payload.
-    pub fn udp(src: Ip, dst: Ip, src_port: u16, dst_port: u16, dscp: Dscp, payload_len: usize) -> Self {
+    pub fn udp(
+        src: Ip,
+        dst: Ip,
+        src_port: u16,
+        dst_port: u16,
+        dscp: Dscp,
+        payload_len: usize,
+    ) -> Self {
         Packet::new(
             vec![
                 Layer::Ipv4(Ipv4Header::new(src, dst, proto::UDP, dscp)),
@@ -103,7 +110,15 @@ impl Packet {
     }
 
     /// Convenience: a TCP segment with `payload_len` zero bytes of payload.
-    pub fn tcp(src: Ip, dst: Ip, src_port: u16, dst_port: u16, dscp: Dscp, seq: u32, payload_len: usize) -> Self {
+    pub fn tcp(
+        src: Ip,
+        dst: Ip,
+        src_port: u16,
+        dst_port: u16,
+        dscp: Dscp,
+        seq: u32,
+        payload_len: usize,
+    ) -> Self {
         Packet::new(
             vec![
                 Layer::Ipv4(Ipv4Header::new(src, dst, proto::TCP, dscp)),

@@ -29,10 +29,14 @@ fn arb_payload() -> impl Strategy<Value = Bytes> {
 /// an IPv4 chain (possibly IP-in-IP), and a transport or ESP tail.
 fn arb_packet() -> impl Strategy<Value = Packet> {
     let transport = prop_oneof![
-        (any::<u16>(), any::<u16>()).prop_map(|(s, d)| (proto::UDP, Some(Layer::Udp(UdpHeader::new(s, d))))),
+        (any::<u16>(), any::<u16>())
+            .prop_map(|(s, d)| (proto::UDP, Some(Layer::Udp(UdpHeader::new(s, d))))),
         (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>(), any::<u8>()).prop_map(
             |(s, d, seq, ack, flags)| {
-                (proto::TCP, Some(Layer::Tcp(TcpHeader { src_port: s, dst_port: d, seq, ack, flags })))
+                (
+                    proto::TCP,
+                    Some(Layer::Tcp(TcpHeader { src_port: s, dst_port: d, seq, ack, flags })),
+                )
             }
         ),
         (any::<u32>(), any::<u32>())

@@ -1,0 +1,157 @@
+//! Vendored, dependency-free subset of the `proptest` property-testing
+//! framework, so the workspace builds and tests with no registry access.
+//!
+//! Implements the authoring API the workspace tests use — `proptest!`,
+//! `prop_assert*!`, `prop_assume!`, `prop_oneof!`, [`Strategy`] with
+//! `prop_map`/`prop_flat_map`, `any::<T>()`, range strategies,
+//! [`collection::vec`], and [`option::of`] — over a deterministic
+//! per-test-seeded generator. Failing inputs are reported via the panic
+//! message; there is no shrinking (the first counterexample is printed
+//! as generated).
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestRng, TestRunner};
+
+/// Fails the current test case with an `assert!`-style message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Fails the current test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Discards the current test case (it counts as neither pass nor fail)
+/// when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            std::panic::panic_any($crate::test_runner::CaseRejected);
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written at the call site, as in
+/// modern proptest style) that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            runner.run(&mut |rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                $body
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_values_obey_strategies(
+            x in 3u8..9,
+            y in evens(),
+            v in crate::collection::vec(any::<u8>(), 2..5),
+            o in crate::option::of(1u32..=3),
+            pick in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert_eq!(y % 2, 0);
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            if let Some(i) = o {
+                prop_assert!((1..=3).contains(&i));
+            }
+            prop_assert!(pick == 1 || pick == 2);
+        }
+
+        #[test]
+        fn assume_discards_cases(a in any::<u16>()) {
+            prop_assume!(a.is_multiple_of(2));
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_chains_dependent_strategies() {
+        let strat = (2usize..6).prop_flat_map(|n| crate::collection::vec(0usize..n, n..n + 1));
+        let mut rng = crate::TestRng::new(42);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            for &x in &v {
+                assert!(x < v.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Panic payload used by `prop_assume!` (and filters) to discard a case.
+pub struct CaseRejected;
+
+/// Runner configuration. Only `cases` is meaningful; the struct mirrors
+/// the real crate's shape far enough for `with_cases` + `default`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum discarded cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64, max_global_rejects: 4096 }
+    }
+}
+
+/// Deterministic generator handed to strategies (SplitMix64 core).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Drives one property over many generated cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner whose stream is seeded from the test's full path,
+    /// so every test is deterministic yet decorrelated from its siblings.
+    /// `PROPTEST_SEED` perturbs all tests at once for re-fuzzing.
+    #[must_use]
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            for b in extra.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        Self { config, rng: TestRng::new(seed), name }
+    }
+
+    /// Runs `case` until `config.cases` cases pass. Assumption rejections
+    /// retry with fresh input; any other panic is reported with the case
+    /// number and re-raised.
+    pub fn run(&mut self, case: &mut dyn FnMut(&mut TestRng)) {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            // Snapshot so a failure report could be replayed by seed.
+            let case_rng = self.rng.clone();
+            self.rng.next_u64();
+            match catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = case_rng;
+                case(&mut rng);
+            })) {
+                Ok(()) => passed += 1,
+                Err(payload) if payload.is::<CaseRejected>() => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= self.config.max_global_rejects,
+                        "{}: too many prop_assume! rejections ({rejected})",
+                        self.name
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest: {} failed at case {} (after {} rejects)",
+                        self.name,
+                        passed + 1,
+                        rejected
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}

@@ -108,6 +108,12 @@ impl HierCbq {
         self.leaves.iter().map(|&i| self.nodes[i].drops).collect()
     }
 
+    /// The node configurations in declaration order (read by the static
+    /// verifier to lint the link-share allocation).
+    pub fn configs(&self) -> Vec<CbqNodeConfig> {
+        self.nodes.iter().map(|n| n.cfg.clone()).collect()
+    }
+
     fn path_of(&self, mut node: usize) -> Vec<usize> {
         let mut path = vec![node];
         while let Some(p) = self.nodes[node].cfg.parent {
@@ -240,9 +246,24 @@ mod tests {
                 CbqNodeConfig { parent: None, rate_bps: 10 * m, bounded: true, cap_bytes: 0 },
                 CbqNodeConfig { parent: Some(0), rate_bps: 6 * m, bounded: true, cap_bytes: 0 },
                 CbqNodeConfig { parent: Some(0), rate_bps: 4 * m, bounded: true, cap_bytes: 0 },
-                CbqNodeConfig { parent: Some(1), rate_bps: 2 * m, bounded: false, cap_bytes: 1 << 22 },
-                CbqNodeConfig { parent: Some(1), rate_bps: 4 * m, bounded: false, cap_bytes: 1 << 22 },
-                CbqNodeConfig { parent: Some(2), rate_bps: 4 * m, bounded: false, cap_bytes: 1 << 22 },
+                CbqNodeConfig {
+                    parent: Some(1),
+                    rate_bps: 2 * m,
+                    bounded: false,
+                    cap_bytes: 1 << 22,
+                },
+                CbqNodeConfig {
+                    parent: Some(1),
+                    rate_bps: 4 * m,
+                    bounded: false,
+                    cap_bytes: 1 << 22,
+                },
+                CbqNodeConfig {
+                    parent: Some(2),
+                    rate_bps: 4 * m,
+                    bounded: false,
+                    cap_bytes: 1 << 22,
+                },
             ],
             by_flow(),
         )
@@ -317,7 +338,12 @@ mod tests {
         let mut q = HierCbq::new(
             vec![
                 CbqNodeConfig { parent: None, rate_bps: 1_000_000, bounded: true, cap_bytes: 0 },
-                CbqNodeConfig { parent: Some(0), rate_bps: 1_000_000, bounded: false, cap_bytes: 2000 },
+                CbqNodeConfig {
+                    parent: Some(0),
+                    rate_bps: 1_000_000,
+                    bounded: false,
+                    cap_bytes: 2000,
+                },
             ],
             Box::new(|_| 0),
         );

@@ -129,11 +129,20 @@ impl MarkingPolicy {
     /// → AF41, business-critical data → AF31, bulk → AF11, rest best-effort.
     pub fn enterprise_default() -> Self {
         let mut p = MarkingPolicy::new(Dscp::BE);
-        p.push(MatchRule::any().protocol(netsim_net::ip::proto::UDP).dst_port_range(16384, 16484), Dscp::EF);
-        p.push(MatchRule::any().protocol(netsim_net::ip::proto::UDP).dst_port_range(5004, 5005), Dscp::AF41);
+        p.push(
+            MatchRule::any().protocol(netsim_net::ip::proto::UDP).dst_port_range(16384, 16484),
+            Dscp::EF,
+        );
+        p.push(
+            MatchRule::any().protocol(netsim_net::ip::proto::UDP).dst_port_range(5004, 5005),
+            Dscp::AF41,
+        );
         p.push(MatchRule::any().protocol(netsim_net::ip::proto::TCP).dst_port(1433), Dscp::AF31);
         p.push(MatchRule::any().protocol(netsim_net::ip::proto::TCP).dst_port(443), Dscp::AF21);
-        p.push(MatchRule::any().protocol(netsim_net::ip::proto::TCP).dst_port_range(20, 21), Dscp::AF11);
+        p.push(
+            MatchRule::any().protocol(netsim_net::ip::proto::TCP).dst_port_range(20, 21),
+            Dscp::AF11,
+        );
         p
     }
 
@@ -207,9 +216,7 @@ mod tests {
 
     #[test]
     fn prefix_and_protocol_constraints() {
-        let rule = MatchRule::any()
-            .from_prefix("10.0.0.0/8".parse().unwrap())
-            .protocol(proto::UDP);
+        let rule = MatchRule::any().from_prefix("10.0.0.0/8".parse().unwrap()).protocol(proto::UDP);
         assert!(rule.matches(&voice_pkt()));
         let wrong_src = Packet::udp(ip("11.0.0.1"), ip("10.9.0.1"), 1, 2, Dscp::BE, 0);
         assert!(!rule.matches(&wrong_src));
@@ -237,7 +244,12 @@ mod tests {
         // After: outer IP + ESP, inner packet opaque.
         let esp = Packet::new(
             vec![
-                Layer::Ipv4(Ipv4Header::new(ip("100.0.0.1"), ip("100.0.0.2"), proto::ESP, Dscp::BE)),
+                Layer::Ipv4(Ipv4Header::new(
+                    ip("100.0.0.1"),
+                    ip("100.0.0.2"),
+                    proto::ESP,
+                    Dscp::BE,
+                )),
                 Layer::Esp(EspHeader { spi: 1, seq: 1 }),
             ],
             Bytes::from(vec![0u8; 180]),

@@ -53,11 +53,11 @@ pub mod shaper;
 pub use cbq_tree::{CbqNodeConfig, HierCbq};
 pub use classify::{MarkingPolicy, MatchRule};
 pub use meter::{Color, SrTcm, TokenBucket, TrTcm};
-pub use shaper::ShapedQueue;
 pub use phb::{ExpMap, Phb};
 pub use queue::{ClassOf, EnqueueOutcome, FifoQueue, QueueDiscipline};
 pub use red::{RedParams, RedQueue, WredQueue};
 pub use sched::{CbqScheduler, DrrScheduler, PriorityScheduler, WfqScheduler};
+pub use shaper::ShapedQueue;
 
 /// Simulation time in nanoseconds.
 pub type Nanos = u64;

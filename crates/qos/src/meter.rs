@@ -26,7 +26,12 @@ impl TokenBucket {
     /// Panics if `rate_bps` is zero.
     pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
         assert!(rate_bps > 0, "token bucket rate must be positive");
-        TokenBucket { rate_bps, burst_bytes, tokens_mibits: burst_bytes as u128 * 8 * MICRO, last: 0 }
+        TokenBucket {
+            rate_bps,
+            burst_bytes,
+            tokens_mibits: burst_bytes as u128 * 8 * MICRO,
+            last: 0,
+        }
     }
 
     /// The configured rate in bits/s.
@@ -133,7 +138,10 @@ impl TrTcm {
     /// configuration error).
     pub fn new(pir_bps: u64, pbs_bytes: u64, cir_bps: u64, cbs_bytes: u64) -> Self {
         assert!(pir_bps >= cir_bps, "PIR must be at least CIR");
-        TrTcm { peak: TokenBucket::new(pir_bps, pbs_bytes), committed: TokenBucket::new(cir_bps, cbs_bytes) }
+        TrTcm {
+            peak: TokenBucket::new(pir_bps, pbs_bytes),
+            committed: TokenBucket::new(cir_bps, cbs_bytes),
+        }
     }
 
     /// Meters one packet of `bytes` at time `now`.

@@ -31,7 +31,11 @@ impl RedParams {
     /// probability.
     pub fn new(min_th_bytes: usize, max_th_bytes: usize) -> Self {
         assert!(max_th_bytes > min_th_bytes, "max_th must exceed min_th");
-        RedParams { min_th_bytes: min_th_bytes as f64, max_th_bytes: max_th_bytes as f64, max_p: 0.1 }
+        RedParams {
+            min_th_bytes: min_th_bytes as f64,
+            max_th_bytes: max_th_bytes as f64,
+            max_p: 0.1,
+        }
     }
 
     /// Sets the drop probability at `max_th`.
@@ -190,7 +194,7 @@ impl QueueDiscipline for RedQueue {
             return EnqueueOutcome::Dropped(pkt);
         }
         if self.core.should_drop(&self.params) {
-            let ect = self.ecn && pkt.outer_ipv4().map(|h| h.is_ect()).unwrap_or(false);
+            let ect = self.ecn && pkt.outer_ipv4().is_some_and(netsim_net::Ipv4Header::is_ect);
             if ect {
                 pkt.outer_ipv4_mut().expect("checked above").set_ce();
                 self.ce_marks += 1;

@@ -114,7 +114,14 @@ impl WfqScheduler {
             .iter()
             .map(|&w| {
                 assert!(w > 0, "WFQ weights must be positive");
-                WfqClass { weight: w, q: VecDeque::new(), bytes: 0, cap_bytes, last_finish: 0, drops: 0 }
+                WfqClass {
+                    weight: w,
+                    q: VecDeque::new(),
+                    bytes: 0,
+                    cap_bytes,
+                    last_finish: 0,
+                    drops: 0,
+                }
             })
             .collect();
         WfqScheduler { classes, class_of, vtime: 0 }
@@ -207,7 +214,15 @@ impl DrrScheduler {
             .iter()
             .map(|&q| {
                 assert!(q > 0, "DRR quanta must be positive");
-                DrrClass { quantum: q, deficit: 0, q: VecDeque::new(), bytes: 0, cap_bytes, active: false, drops: 0 }
+                DrrClass {
+                    quantum: q,
+                    deficit: 0,
+                    q: VecDeque::new(),
+                    bytes: 0,
+                    cap_bytes,
+                    active: false,
+                    drops: 0,
+                }
             })
             .collect();
         DrrScheduler { classes, active: VecDeque::new(), class_of }
@@ -417,8 +432,8 @@ impl QueueDiscipline for CbqScheduler {
                 }
                 // Conservative estimate: time to accrue one head's worth of
                 // tokens at the class rate.
-                let wait = (head.wire_len() as u128 * 8 * SEC as u128
-                    / c.cfg.rate_bps as u128) as Nanos;
+                let wait =
+                    (head.wire_len() as u128 * 8 * SEC as u128 / c.cfg.rate_bps as u128) as Nanos;
                 let t = now + wait.max(1);
                 earliest = Some(earliest.map_or(t, |e: Nanos| e.min(t)));
             }
@@ -609,8 +624,7 @@ mod tests {
 
     #[test]
     fn cbq_next_ready_signals_retry_for_bounded_backlog() {
-        let cfgs =
-            vec![CbqClassConfig { rate_bps: 8_000, bounded: true, cap_bytes: 1 << 20 }];
+        let cfgs = vec![CbqClassConfig { rate_bps: 8_000, bounded: true, cap_bytes: 1 << 20 }];
         let mut s = CbqScheduler::new(cfgs, by_flow());
         for _ in 0..10 {
             s.enqueue(pkt_class(0, 1472), 0); // 1500 B wire

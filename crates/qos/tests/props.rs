@@ -203,7 +203,7 @@ proptest! {
                 CbqNodeConfig { parent: Some(1), rate_bps: 2 * m, bounded: false, cap_bytes: 16 * 1024 },
                 CbqNodeConfig { parent: Some(1), rate_bps: 4 * m, bounded: false, cap_bytes: 16 * 1024 },
                 CbqNodeConfig { parent: Some(0), rate_bps: 4 * m, bounded: false, cap_bytes: 16 * 1024 },
-                CbqNodeConfig { parent: Some(0), rate_bps: 1 * m, bounded: true, cap_bytes: 16 * 1024 },
+                CbqNodeConfig { parent: Some(0), rate_bps: m, bounded: true, cap_bytes: 16 * 1024 },
             ],
             by_flow(),
         );

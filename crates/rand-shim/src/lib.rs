@@ -1,0 +1,146 @@
+//! Vendored, dependency-free subset of the `rand` crate: a seedable
+//! small-state PRNG ([`rngs::SmallRng`]) plus the [`RngExt::random_range`]
+//! sampler over integer and float ranges. Only the surface this workspace
+//! uses is provided, so the workspace builds with no registry access.
+//!
+//! The generator is SplitMix64 — statistically solid for simulation
+//! workloads and deterministic across platforms for a given seed.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    /// A small, fast, seedable PRNG (SplitMix64 core).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_state(state: u64) -> Self {
+            Self { state }
+        }
+
+        /// Returns the next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::SmallRng::from_state(seed)
+    }
+}
+
+/// A range that a uniform sample can be drawn from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Sample;
+
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut rngs::SmallRng) -> Self::Sample;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Sample = $t;
+
+            fn sample(self, rng: &mut rngs::SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                let v = (u128::from(rng.next_u64())) % span;
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    self.start.wrapping_add(v as $t)
+                }
+            }
+        }
+
+        impl SampleRange for RangeInclusive<$t> {
+            type Sample = $t;
+
+            fn sample(self, rng: &mut rngs::SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                let v = (u128::from(rng.next_u64())) % span;
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    lo.wrapping_add(v as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Sample = f64;
+
+    fn sample(self, rng: &mut rngs::SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // 53 uniform mantissa bits -> [0, 1).
+        #[allow(clippy::cast_precision_loss)]
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait RngExt {
+    /// Draws a uniform sample from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Sample;
+}
+
+impl RngExt for rngs::SmallRng {
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Sample {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = rngs::SmallRng::seed_from_u64(7);
+        let mut b = rngs::SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = a.random_range(5u32..17);
+            assert!((5..17).contains(&x));
+            assert_eq!(x, b.random_range(5u32..17));
+            let f: f64 = a.random_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&f));
+            b.next_u64();
+            let full = a.random_range(0u32..=u32::MAX);
+            assert_eq!(full, b.random_range(0u32..=u32::MAX));
+        }
+    }
+
+    #[test]
+    fn inclusive_hits_bounds() {
+        let mut r = rngs::SmallRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.random_range(0usize..=2)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -196,6 +196,28 @@ impl BgpVpnFabric {
         }
     }
 
+    /// Removes an import target from a VRF. Already-imported routes stay
+    /// until the next [`BgpVpnFabric::refresh_vrf`] — exactly the stale
+    /// state the static verifier exists to catch.
+    pub fn remove_import_target(&mut self, vrf: VrfHandle, rt: RouteTarget) {
+        self.pes[vrf.pe].vrfs[vrf.index].import.retain(|t| *t != rt);
+    }
+
+    /// The import route targets of a VRF (read by the isolation verifier).
+    pub fn import_targets(&self, vrf: VrfHandle) -> &[RouteTarget] {
+        &self.pes[vrf.pe].vrfs[vrf.index].import
+    }
+
+    /// The export route targets of a VRF (read by the isolation verifier).
+    pub fn export_targets(&self, vrf: VrfHandle) -> &[RouteTarget] {
+        &self.pes[vrf.pe].vrfs[vrf.index].export
+    }
+
+    /// The route distinguisher of a VRF.
+    pub fn vrf_rd(&self, vrf: VrfHandle) -> RouteDistinguisher {
+        self.pes[vrf.pe].vrfs[vrf.index].rd
+    }
+
     /// Advertises `prefix` from `vrf` (a connected customer route learned
     /// from the attached CE): allocates a VPN label, installs the egress
     /// dispatch entry, and distributes the route to every importing VRF.
@@ -224,10 +246,7 @@ impl BgpVpnFabric {
     /// another PE still advertises the same prefix (a multihomed site),
     /// fails importers over to the next-best path.
     pub fn withdraw(&mut self, vrf: VrfHandle, prefix: Prefix) {
-        let Some(pos) = self
-            .rib
-            .iter()
-            .position(|ad| ad.origin == vrf && ad.prefix == prefix)
+        let Some(pos) = self.rib.iter().position(|ad| ad.origin == vrf && ad.prefix == prefix)
         else {
             return;
         };
@@ -254,14 +273,17 @@ impl BgpVpnFabric {
                 let best = alternatives
                     .iter()
                     .filter(|x| {
-                        x.egress_pe != pi
-                            && v.import.iter().any(|t| x.export_targets.contains(t))
+                        x.egress_pe != pi && v.import.iter().any(|t| x.export_targets.contains(t))
                     })
                     .min_by_key(|x| (x.egress_pe, x.vpn_label));
                 if let Some(alt) = best {
                     v.table.insert(
                         prefix,
-                        RemoteRoute { egress_pe: alt.egress_pe, vpn_label: alt.vpn_label, rd: alt.rd },
+                        RemoteRoute {
+                            egress_pe: alt.egress_pe,
+                            vpn_label: alt.vpn_label,
+                            rd: alt.rd,
+                        },
                     );
                 }
             }
@@ -469,7 +491,10 @@ mod tests {
         f.advertise(s2, pfx("10.2.0.0/24"));
         assert_eq!(f.routes(hub).len(), 2, "hub imports both spokes");
         assert_eq!(f.routes(s1).len(), 1, "spoke sees only the hub");
-        assert!(f.routes(s1).lookup(pfx("10.2.0.0/24").addr()).is_none(), "no spoke-to-spoke route");
+        assert!(
+            f.routes(s1).lookup(pfx("10.2.0.0/24").addr()).is_none(),
+            "no spoke-to-spoke route"
+        );
     }
 
     #[test]

@@ -238,8 +238,18 @@ mod tests {
         // Random-ish fixed topology; every path must terminate and match
         // its advertised cost.
         let mut t = Topology::new(8);
-        let edges =
-            [(0, 1, 2), (1, 2, 2), (2, 3, 1), (3, 4, 4), (4, 5, 1), (5, 6, 2), (6, 7, 1), (7, 0, 3), (1, 5, 7), (2, 6, 1)];
+        let edges = [
+            (0, 1, 2),
+            (1, 2, 2),
+            (2, 3, 1),
+            (3, 4, 4),
+            (4, 5, 1),
+            (5, 6, 2),
+            (6, 7, 1),
+            (7, 0, 3),
+            (1, 5, 7),
+            (2, 6, 1),
+        ];
         for (u, v, c) in edges {
             t.add_link(u, v, attrs(c));
         }

@@ -297,7 +297,7 @@ impl Node for TcpSink {
         }
         // Cumulative ACK back to the sender, echoing the data packet's
         // send timestamp for RTT sampling — and the CE mark as ECE.
-        let ce = pkt.outer_ipv4().map(|h| h.is_ce()).unwrap_or(false);
+        let ce = pkt.outer_ipv4().is_some_and(netsim_net::Ipv4Header::is_ce);
         let flags = 0x10 | if ce { ECE_FLAG } else { 0 };
         let mut ack = Packet::new(
             vec![
@@ -389,12 +389,11 @@ mod tests {
     fn ecn_flow_adapts_without_loss() {
         use netsim_qos::{RedParams, RedQueue};
         let mut net = Network::new();
-        let src =
-            net.add_node(Box::new(TcpSource::new(tcp_cfg(1), Some(5 * SEC)).with_ecn()));
+        let src = net.add_node(Box::new(TcpSource::new(tcp_cfg(1), Some(5 * SEC)).with_ecn()));
         let dst = net.add_node(Box::new(TcpSink::new()));
         let cfg = LinkConfig::new(5_000_000, MSEC);
-        let red = RedQueue::new(64 * 1024, RedParams::new(8 * 1024, 24 * 1024), 42, 1_600)
-            .with_ecn();
+        let red =
+            RedQueue::new(64 * 1024, RedParams::new(8 * 1024, 24 * 1024), 42, 1_600).with_ecn();
         net.connect_with_qdiscs(
             src,
             dst,

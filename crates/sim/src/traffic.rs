@@ -76,7 +76,15 @@ impl SourceConfig {
 
     fn make_packet(&self, seq: u64, now: Nanos) -> Packet {
         let mut p = if self.tcp {
-            Packet::tcp(self.src, self.dst, self.src_port, self.dst_port, self.dscp, seq as u32, self.payload)
+            Packet::tcp(
+                self.src,
+                self.dst,
+                self.src_port,
+                self.dst_port,
+                self.dscp,
+                seq as u32,
+                self.payload,
+            )
         } else {
             Packet::udp(self.src, self.dst, self.src_port, self.dst_port, self.dscp, self.payload)
         };
@@ -291,8 +299,11 @@ impl Node for OnOffSource {
             KIND_TOGGLE => {
                 self.on = !self.on;
                 self.epoch += 1;
-                let dwell =
-                    if self.on { self.exp_sample(self.mean_on) } else { self.exp_sample(self.mean_off) };
+                let dwell = if self.on {
+                    self.exp_sample(self.mean_on)
+                } else {
+                    self.exp_sample(self.mean_off)
+                };
                 ctx.schedule(dwell, self.token(KIND_TOGGLE));
                 if self.on {
                     ctx.schedule(0, self.token(KIND_EMIT));
@@ -401,12 +412,7 @@ mod tests {
         let run = |seed: u64| {
             let mut net = Network::new();
             let cfg = SourceConfig::udp(7, ip("10.0.0.1"), ip("10.0.0.2"), 5000, 100);
-            let src = net.add_node(Box::new(PoissonSource::new(
-                cfg,
-                MSEC,
-                seed,
-                Some(crate::SEC),
-            )));
+            let src = net.add_node(Box::new(PoissonSource::new(cfg, MSEC, seed, Some(crate::SEC))));
             let dst = net.add_node(Box::new(Sink::new()));
             net.connect(src, dst, LinkConfig::new(1_000_000_000, 0));
             net.arm_timer(src, 0, 0);

@@ -5,9 +5,7 @@ use netsim_net::addr::ip;
 use netsim_net::{Dscp, Packet};
 use netsim_qos::SEC;
 use netsim_sim::node::BlackHole;
-use netsim_sim::{
-    CbrSource, Ctx, IfaceId, LinkConfig, LinkId, Network, Node, Sink, SourceConfig,
-};
+use netsim_sim::{CbrSource, Ctx, IfaceId, LinkConfig, LinkId, Network, Node, Sink, SourceConfig};
 use proptest::prelude::*;
 
 proptest! {

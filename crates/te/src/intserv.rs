@@ -160,8 +160,7 @@ impl<'a> IntServDomain<'a> {
     /// Soft-state refresh load: messages per second across the domain
     /// (each flow refreshes PATH and RESV over every hop each period).
     pub fn refresh_messages_per_sec(&self) -> f64 {
-        let hop_msgs: u64 =
-            self.flows.values().map(|f| 2 * (f.path.len() as u64 - 1)).sum();
+        let hop_msgs: u64 = self.flows.values().map(|f| 2 * (f.path.len() as u64 - 1)).sum();
         hop_msgs as f64 / REFRESH_PERIOD_SECS
     }
 

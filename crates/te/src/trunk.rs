@@ -33,7 +33,14 @@ pub struct TrunkRequest {
 impl TrunkRequest {
     /// A best-effort-priority trunk (setup=hold=7).
     pub fn new(src: usize, dst: usize, demand_bps: u64) -> Self {
-        TrunkRequest { src, dst, demand_bps, setup_priority: 7, hold_priority: 7, explicit_path: None }
+        TrunkRequest {
+            src,
+            dst,
+            demand_bps,
+            setup_priority: 7,
+            hold_priority: 7,
+            explicit_path: None,
+        }
     }
 
     /// Sets both setup and hold priority.
@@ -110,6 +117,28 @@ impl TeDomain {
     /// Reservation-based utilization of a link.
     pub fn utilization(&self, link: usize) -> f64 {
         self.reserved_bps(link) as f64 / self.topo.link(link).2.capacity_bps as f64
+    }
+
+    /// Bandwidth held on `link` at exactly priority `prio` (the static
+    /// verifier reconciles this ledger against the admitted trunks).
+    pub fn reserved_at(&self, link: usize, prio: u8) -> u64 {
+        self.reserved[link][prio as usize]
+    }
+
+    /// Iterates over admitted trunks: id, request, and the link ids of
+    /// the reserved path.
+    pub fn trunk_entries(&self) -> impl Iterator<Item = (TrunkId, &TrunkRequest, &[usize])> + '_ {
+        self.trunks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (TrunkId(i), &t.req, t.links.as_slice())))
+    }
+
+    /// Deliberately skews the reservation ledger — a fault-injection hook
+    /// for the verifier's negative tests (models a lost teardown or a
+    /// double booking). Not used by any forwarding path.
+    pub fn corrupt_reservation_for_test(&mut self, link: usize, prio: u8, delta_bps: u64) {
+        self.reserved[link][prio as usize] += delta_bps;
     }
 
     /// The node path of an admitted trunk.
@@ -210,11 +239,8 @@ impl TeDomain {
             return Err(TeError::BadExplicitPath);
         }
         for w in path.windows(2) {
-            let Some(link) = self
-                .topo
-                .neighbors(w[0])
-                .find(|&(peer, _, _)| peer == w[1])
-                .map(|(_, _, l)| l)
+            let Some(link) =
+                self.topo.neighbors(w[0]).find(|&(peer, _, _)| peer == w[1]).map(|(_, _, l)| l)
             else {
                 return Err(TeError::BadExplicitPath);
             };
@@ -288,10 +314,7 @@ mod tests {
         let mut te = TeDomain::new(fish());
         te.signal(TrunkRequest::new(0, 4, 9_000_000)).unwrap();
         te.signal(TrunkRequest::new(0, 4, 9_000_000)).unwrap();
-        assert_eq!(
-            te.signal(TrunkRequest::new(0, 4, 2_000_000)),
-            Err(TeError::NoFeasiblePath)
-        );
+        assert_eq!(te.signal(TrunkRequest::new(0, 4, 2_000_000)), Err(TeError::NoFeasiblePath));
         // A smaller trunk still fits.
         assert!(te.signal(TrunkRequest::new(0, 4, 1_000_000)).is_ok());
     }
@@ -324,8 +347,7 @@ mod tests {
     #[test]
     fn explicit_path_admission_and_rejection() {
         let mut te = TeDomain::new(fish());
-        let (t, _) =
-            te.signal(TrunkRequest::new(0, 4, 1_000_000).via(vec![0, 2, 3, 4])).unwrap();
+        let (t, _) = te.signal(TrunkRequest::new(0, 4, 1_000_000).via(vec![0, 2, 3, 4])).unwrap();
         assert_eq!(te.path(t).unwrap(), &[0, 2, 3, 4]);
         // Disconnected explicit path.
         assert_eq!(

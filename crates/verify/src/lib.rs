@@ -1,0 +1,35 @@
+//! # netsim-verify — static analysis of provisioned control-plane state
+//!
+//! The paper's §4 functions (membership, reachability, separation) and §5
+//! QoS pipeline are configuration-correctness claims. This crate checks
+//! them *statically* — over installed FTN/ILM/NHLFE tables, route-target
+//! policies, queue parameters and TE reservations — before a single packet
+//! is simulated, and reports violations as structured [`Diagnostic`]s with
+//! stable codes (see [`codes`]).
+//!
+//! Four passes:
+//!
+//! | pass | module | codes |
+//! |------|--------|-------|
+//! | label-plane integrity | [`labelplane`] | `V-LBL-001` … `V-LBL-005` |
+//! | VRF isolation         | [`isolation`]  | `V-VRF-001` … `V-VRF-004` |
+//! | QoS configuration     | [`qoslint`]    | `V-QOS-001` … `V-QOS-004` |
+//! | TE accounting         | [`te`]         | `V-TE-001` … `V-TE-003`  |
+//!
+//! `mplsvpn-core` glues these to `ProviderNetwork::verify()`; the passes
+//! themselves operate on neutral models so they can be unit-tested (and
+//! fuzzed) without building a simulator.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod isolation;
+pub mod labelplane;
+pub mod qoslint;
+pub mod te;
+
+pub use diag::{codes, Diagnostic, Severity, VerifyReport};
+pub use isolation::{verify_isolation, VrfPolicy};
+pub use labelplane::{verify_label_plane, LabelNode, LabelPlane, StackWalk};
+pub use qoslint::{lint_cbq_tree, lint_ef_admission, lint_exp_map, lint_red_profile, EfContract};
+pub use te::verify_te;

@@ -23,6 +23,7 @@ fn main() {
     let vpn = pn.new_vpn("acme");
     let a = pn.add_site(vpn, 0, "10.1.0.0/16".parse().unwrap(), None);
     let b = pn.add_site(vpn, 1, "10.2.0.0/16".parse().unwrap(), None);
+    pn.verify().assert_clean("failover backbone, pre-cut");
     let sink = pn.attach_sink(b, "10.2.0.0/16".parse().unwrap());
 
     // 200 pps voice-like flow for the whole 8-second story.
@@ -58,6 +59,7 @@ fn main() {
     println!("t=4.15s 🔧 repairing the link");
     pn.repair_link(1);
     pn.reconverge();
+    pn.verify().assert_clean("failover backbone, post-repair");
     pn.run_for(4 * SEC);
     let f = pn.net.node_ref::<Sink>(sink).flow(1).unwrap();
     let total = 8 * SEC / interval;

@@ -41,6 +41,12 @@ fn main() {
     let ftn = pn.install_explicit_lsp(&p2);
     pn.pin_prefix_to_tunnel(vpn, 0, "10.2.128.0/17".parse().unwrap(), ftn);
 
+    // The pinned LSP and the trunk ledgers must both verify: the explicit
+    // label path unwinds at PE4 and no fish link is over-reserved.
+    let mut report = pn.verify();
+    mplsvpn::verify::verify_te(&te, &mut report);
+    report.assert_clean("engineered backbone");
+
     // Two 6.5 Mb/s flows, one per trunk.
     let interval = 1_000u64 * 8 * 1_000_000_000 / 6_500_000; // 1000 B wire
     let horizon = 5 * SEC;

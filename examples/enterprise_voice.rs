@@ -38,13 +38,25 @@ fn main() {
     let vpn = pn.new_vpn("enterprise");
     let hq = pn.add_site(vpn, 0, "10.1.0.0/16".parse().unwrap(), Some(policy));
     let branch = pn.add_site(vpn, 1, "10.2.0.0/16".parse().unwrap(), None);
+
+    // Commit the voice contract (4 calls ≈ 100 kb/s each) and statically
+    // verify the whole configuration: DSCP↔EXP map, RED profile, EF
+    // admission against the 10 Mb/s bottleneck, labels, VRFs.
+    pn.commit_ef_contract("enterprise voice", 4 * 100_000);
+    pn.verify().assert_clean("enterprise voice backbone");
     let sink = pn.attach_sink(branch, "10.2.0.0/16".parse().unwrap());
 
     // The application mix, all sent unmarked — the CPE does the marking.
     let hq_block = pn.sites[hq.0].prefix;
     let branch_block = pn.sites[branch.0].prefix;
     let mk = move |flow: u64, dst_port, payload| {
-        SourceConfig::udp(flow, hq_block.nth(flow as u32), branch_block.nth(flow as u32), dst_port, payload)
+        SourceConfig::udp(
+            flow,
+            hq_block.nth(flow as u32),
+            branch_block.nth(flow as u32),
+            dst_port,
+            payload,
+        )
     };
     let horizon = 5 * SEC;
     // 4 voice calls, 50 pps each.
@@ -61,10 +73,19 @@ fn main() {
     pn.run_for(horizon + SEC);
 
     let stats = pn.net.node_ref::<Sink>(sink);
-    println!("{:<12} {:>9} {:>10} {:>10} {:>10}", "flow", "rx pkts", "mean ms", "p99 ms", "jitter ms");
-    for (name, flow) in
-        [("voice0", 10u64), ("voice1", 11), ("voice2", 12), ("voice3", 13), ("video", 20), ("data", 30), ("bulk", 40)]
-    {
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>10}",
+        "flow", "rx pkts", "mean ms", "p99 ms", "jitter ms"
+    );
+    for (name, flow) in [
+        ("voice0", 10u64),
+        ("voice1", 11),
+        ("voice2", 12),
+        ("voice3", 13),
+        ("video", 20),
+        ("data", 30),
+        ("bulk", 40),
+    ] {
         if let Some(f) = stats.flow(flow) {
             println!(
                 "{name:<12} {:>9} {:>10.2} {:>10.2} {:>10.3}",

@@ -48,6 +48,12 @@ fn main() {
         ],
         classify,
     );
+    // Lint the link-sharing tree (no class set over-subscribes its
+    // parent) and the provisioned network before offering load.
+    let mut report = pn.verify();
+    mplsvpn::verify::lint_cbq_tree(&tree.configs(), "hq uplink CBQ", &mut report);
+    report.assert_clean("managed CPE");
+
     let uplink = pn.sites[hq.0].access_link;
     pn.net.set_qdisc(uplink, 0, Box::new(tree));
 
@@ -56,8 +62,14 @@ fn main() {
     let hq_block = pn.sites[hq.0].prefix;
     let branch_block = pn.sites[branch.0].prefix;
     let mk = move |flow: u64, dscp, payload| {
-        SourceConfig::udp(flow, hq_block.nth(flow as u32), branch_block.nth(flow as u32), 5000, payload)
-            .with_dscp(dscp)
+        SourceConfig::udp(
+            flow,
+            hq_block.nth(flow as u32),
+            branch_block.nth(flow as u32),
+            5000,
+            payload,
+        )
+        .with_dscp(dscp)
     };
     pn.attach_cbr_source(hq, mk(1, Dscp::EF, 972), 500_000, Some(horizon / 500_000)); // 16 Mb/s offered voice
     pn.attach_cbr_source(hq, mk(2, Dscp::AF21, 972), 500_000, Some(horizon / 500_000)); // 16 Mb/s office data
@@ -70,7 +82,7 @@ fn main() {
     for (name, flow) in [("voice", 1u64), ("data", 2), ("backup", 3)] {
         // Rate over the flow's own arrival window (the run includes a
         // drain second beyond the offered horizon).
-        let bps = s.flow(flow).map(|f| f.throughput_bps()).unwrap_or(0.0);
+        let bps = s.flow(flow).map_or(0.0, mplsvpn::sim::FlowStats::throughput_bps);
         println!("{name:<8} {:>14.2} {:>11.0}%", bps / 1e6, bps / 10e6 * 100.0);
         rates.push(bps);
     }

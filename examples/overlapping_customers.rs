@@ -40,6 +40,10 @@ fn main() {
     let globex_a = pn.add_site(globex, 0, "10.1.0.0/16".parse().unwrap(), None);
     let globex_b = pn.add_site(globex, 1, "10.2.0.0/16".parse().unwrap(), None);
 
+    // Static proof of isolation before the dynamic one below: the
+    // route-target graph must show zero acme↔globex coupling.
+    pn.verify().assert_clean("overlapping customers");
+
     let sink_acme = pn.attach_sink(acme_b, "10.2.0.0/16".parse().unwrap());
     let sink_globex = pn.attach_sink(globex_b, "10.2.0.0/16".parse().unwrap());
 
@@ -52,8 +56,16 @@ fn main() {
 
     let sa = pn.net.node_ref::<Sink>(sink_acme);
     let sg = pn.net.node_ref::<Sink>(sink_globex);
-    println!("acme   site B: {} packets (flow 1), foreign flows: {}", sa.flow(1).map_or(0, |f| f.rx_packets), sa.flows().count() - 1);
-    println!("globex site B: {} packets (flow 2), foreign flows: {}", sg.flow(2).map_or(0, |f| f.rx_packets), sg.flows().count() - 1);
+    println!(
+        "acme   site B: {} packets (flow 1), foreign flows: {}",
+        sa.flow(1).map_or(0, |f| f.rx_packets),
+        sa.flows().count() - 1
+    );
+    println!(
+        "globex site B: {} packets (flow 2), foreign flows: {}",
+        sg.flow(2).map_or(0, |f| f.rx_packets),
+        sg.flows().count() - 1
+    );
     assert!(sa.flow(2).is_none() && sg.flow(1).is_none(), "cross-VPN leak!");
 
     // A third acme site joins at runtime: one call, one PE touched.

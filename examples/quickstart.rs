@@ -27,6 +27,10 @@ fn main() {
     let seoul = pn.add_site(vpn, 0, "10.1.0.0/16".parse().unwrap(), None);
     let busan = pn.add_site(vpn, 1, "10.2.0.0/16".parse().unwrap(), None);
 
+    // 3b. Statically verify the provisioned control plane before pushing
+    //     traffic: label integrity, VRF isolation, QoS sanity.
+    pn.verify().assert_clean("quickstart backbone");
+
     // 4. Attach a measuring sink in Busan and a 1000-packet CBR source in
     //    Seoul.
     let sink = pn.attach_sink(busan, "10.2.0.0/16".parse().unwrap());

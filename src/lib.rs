@@ -71,3 +71,7 @@ pub use netsim_ipsec as ipsec;
 
 /// The assembled VPN architecture ([`mplsvpn_core`]).
 pub use mplsvpn_core as vpn;
+
+/// Static control-plane and QoS-configuration verifier
+/// ([`netsim_verify`]).
+pub use netsim_verify as verify;

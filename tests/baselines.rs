@@ -111,10 +111,7 @@ fn ipsec_pays_crypto_latency_mpls_does_not() {
     assert!(crypto_total > 0);
     // The IPsec mean must exceed MPLS by at least one end's crypto cost for
     // a ~1 kB packet (~70 µs under the default cost model).
-    assert!(
-        ipsec_mean > mpls_mean + 70_000.0,
-        "ipsec {ipsec_mean} vs mpls {mpls_mean}"
-    );
+    assert!(ipsec_mean > mpls_mean + 70_000.0, "ipsec {ipsec_mean} vs mpls {mpls_mean}");
 }
 
 /// Replay attack on the IPsec baseline: a duplicated ESP packet is dropped
@@ -123,11 +120,8 @@ fn ipsec_pays_crypto_latency_mpls_does_not() {
 fn ipsec_baseline_rejects_replayed_packets() {
     use mplsvpn::ipsec::encapsulate;
     use mplsvpn::net::{Dscp, Packet};
-    let mut n = IpsecVpnNetwork::build(
-        line3(),
-        1_000_000,
-        CoreQos::BestEffort { cap_bytes: 256 * 1024 },
-    );
+    let mut n =
+        IpsecVpnNetwork::build(line3(), 1_000_000, CoreQos::BestEffort { cap_bytes: 256 * 1024 });
     let a = n.add_gateway(0, pfx("10.1.0.0/16"), None);
     let b = n.add_gateway(2, pfx("10.2.0.0/16"), None);
     n.connect_gateways(a, b);

@@ -36,8 +36,7 @@ fn full_mesh_connectivity_four_sites() {
     let mut pn = BackboneBuilder::new(t, pes).build();
     let vpn = pn.new_vpn("acme");
     let blocks = ["10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16", "10.4.0.0/16"];
-    let sites: Vec<_> =
-        (0..4).map(|k| pn.add_site(vpn, k, pfx(blocks[k]), None)).collect();
+    let sites: Vec<_> = (0..4).map(|k| pn.add_site(vpn, k, pfx(blocks[k]), None)).collect();
     let sinks: Vec<_> = (0..4).map(|k| pn.attach_sink(sites[k], pfx(blocks[k]))).collect();
 
     let mut flow = 0u64;
