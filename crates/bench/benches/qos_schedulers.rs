@@ -30,7 +30,7 @@ fn bench_qdisc(c: &mut Criterion, name: &str, mut q: Box<dyn QueueDiscipline>) {
         b.iter(|| {
             now += 1_000;
             class = (class + 1) % 4;
-            let _ = q.enqueue(mk_pkt(class), now);
+            let _ = q.enqueue(mk_pkt(class).into(), now);
             black_box(q.dequeue(now));
         });
     });

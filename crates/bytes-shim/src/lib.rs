@@ -7,45 +7,76 @@
 
 use std::borrow::Borrow;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// An immutable, reference-counted byte buffer. Cloning is O(1).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// Size of the shared all-zero backing buffer used by [`Bytes::zeroed`].
+const ZERO_CHUNK: usize = 1 << 16;
+
+/// Lazily initialized shared zero buffer; every `Bytes::zeroed` call up to
+/// [`ZERO_CHUNK`] bytes is a reference-count bump into this allocation.
+static ZEROS: OnceLock<Arc<[u8]>> = OnceLock::new();
+
+/// An immutable, reference-counted byte buffer. Cloning is O(1). A `Bytes`
+/// is a view (`offset`, `len`) into a shared backing allocation, so views
+/// of a common buffer (e.g. zero-filled payloads) share storage.
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Creates an empty buffer.
     #[must_use]
     pub fn new() -> Self {
-        Self { data: Arc::from(&[][..]) }
+        Self { data: Arc::from(&[][..]), off: 0, len: 0 }
     }
 
     /// Wraps a static byte slice (copied; the real crate borrows, but the
     /// observable behaviour is identical for readers).
     #[must_use]
     pub fn from_static(data: &'static [u8]) -> Self {
-        Self { data: Arc::from(data) }
+        Self::copy_from_slice(data)
     }
 
     /// Copies a slice into a new buffer.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self { data: Arc::from(data) }
+        let len = data.len();
+        Self { data: Arc::from(data), off: 0, len }
+    }
+
+    /// `len` zero bytes. Allocation-free for lengths up to 64 KiB: the view
+    /// aliases one shared zero buffer, which is what makes synthetic-payload
+    /// packet construction cheap on the simulator hot path.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        if len <= ZERO_CHUNK {
+            let data = ZEROS.get_or_init(|| Arc::from(vec![0u8; ZERO_CHUNK])).clone();
+            Self { data, off: 0, len }
+        } else {
+            Self::from(vec![0u8; len])
+        }
     }
 
     /// Number of bytes in the buffer.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True when the buffer holds no bytes.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
     }
 }
 
@@ -59,37 +90,38 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: Arc::from(v) }
+        let len = v.len();
+        Self { data: Arc::from(v), off: 0, len }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Self { data: Arc::from(v) }
+        Self::copy_from_slice(v)
     }
 }
 
 impl From<&str> for Bytes {
     fn from(v: &str) -> Self {
-        Self { data: Arc::from(v.as_bytes()) }
+        Self::copy_from_slice(v.as_bytes())
     }
 }
 
@@ -99,28 +131,57 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+// Comparisons and hashing go through the visible slice, never the backing
+// storage, so views with different offsets but equal contents are equal
+// (and `Hash` stays consistent with `Borrow<[u8]>`).
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        **self == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        **self == **other
+        self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        **self == other[..]
+        *self.as_slice() == other[..]
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -142,5 +203,31 @@ mod tests {
         assert_eq!(b.clone(), b);
         assert!(Bytes::new().is_empty());
         assert_eq!(format!("{:?}", Bytes::from_static(b"a\n")), "b\"a\\n\"");
+    }
+
+    #[test]
+    fn zeroed_shares_storage_and_compares_by_content() {
+        let a = Bytes::zeroed(100);
+        let b = Bytes::zeroed(100);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&x| x == 0));
+        assert_eq!(a, b);
+        assert_eq!(a, Bytes::from(vec![0u8; 100]));
+        // Both views alias the one shared zero chunk.
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+        // Beyond the chunk size a dedicated allocation is made.
+        let big = Bytes::zeroed(ZERO_CHUNK + 1);
+        assert_eq!(big.len(), ZERO_CHUNK + 1);
+        assert!(big.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn hash_matches_borrowed_slice() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Bytes, u32> = HashMap::new();
+        m.insert(Bytes::from(vec![0u8; 4]), 7);
+        // Lookup through Borrow<[u8]> must find a zeroed-view key equal.
+        assert_eq!(m.get(&[0u8, 0, 0, 0][..]), Some(&7));
+        assert_eq!(m.get(Bytes::zeroed(4).as_ref()), Some(&7));
     }
 }

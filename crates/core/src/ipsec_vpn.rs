@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use netsim_ipsec::{
     decapsulate, encapsulate, CryptoCostModel, IkeProposal, IpsecError, SecurityAssociation,
 };
-use netsim_net::{Ip, LpmTrie, Packet, Prefix};
+use netsim_net::{Ip, LpmTrie, Pkt, Prefix};
 use netsim_qos::{MarkingPolicy, Nanos};
 use netsim_routing::{Igp, Topology};
 use netsim_sim::{Ctx, IfaceId, LinkConfig, Network, NodeId, Sink};
@@ -87,7 +87,7 @@ impl IpsecGateway {
         self.peers_by_prefix.insert(remote_prefix, idx);
     }
 
-    fn upstream(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
+    fn upstream(&mut self, mut pkt: Pkt, ctx: &mut Ctx) {
         if let Some(policy) = &self.marking {
             policy.mark(&mut pkt);
         }
@@ -115,7 +115,7 @@ impl IpsecGateway {
         ctx.send_after(cost, IfaceId(self.uplink), outer);
     }
 
-    fn downstream(&mut self, pkt: Packet, ctx: &mut Ctx) {
+    fn downstream(&mut self, pkt: Pkt, ctx: &mut Ctx) {
         if !pkt.outer_ipv4().map(|h| h.dst == self.public_ip).unwrap_or(false) {
             self.counters.dropped_no_route += 1;
             return;
@@ -157,7 +157,7 @@ impl IpsecGateway {
 }
 
 impl netsim_sim::Node for IpsecGateway {
-    fn on_packet(&mut self, iface: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, iface: IfaceId, pkt: Pkt, ctx: &mut Ctx) {
         if iface.0 == self.uplink {
             self.downstream(pkt, ctx);
         } else {

@@ -15,7 +15,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use netsim_net::{Layer, LpmTrie, Packet, Prefix, VcHeader};
+use netsim_net::{Layer, LpmTrie, Pkt, Prefix, VcHeader};
 use netsim_qos::Nanos;
 use netsim_routing::{Igp, Topology};
 use netsim_sim::{Ctx, IfaceId, LinkConfig, LinkId, Network, NodeId, Sink};
@@ -45,7 +45,7 @@ impl VcSwitch {
 }
 
 impl netsim_sim::Node for VcSwitch {
-    fn on_packet(&mut self, iface: IfaceId, mut pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, iface: IfaceId, mut pkt: Pkt, ctx: &mut Ctx) {
         let Some(Layer::Vc(vc)) = pkt.outer() else {
             self.counters.dropped_no_route += 1;
             return;
@@ -101,7 +101,7 @@ impl VcEdge {
 }
 
 impl netsim_sim::Node for VcEdge {
-    fn on_packet(&mut self, iface: IfaceId, mut pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, iface: IfaceId, mut pkt: Pkt, ctx: &mut Ctx) {
         if iface.0 == self.uplink {
             // Downstream: strip the VC header and deliver into the site.
             if matches!(pkt.outer(), Some(Layer::Vc(_))) {

@@ -11,13 +11,12 @@
 //!   PE uplink.
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use netsim_mpls::lfib::{LfibVerdict, LOCAL_IFACE};
 use netsim_mpls::{FtnEntry, Lfib};
-use netsim_net::{Dscp, Ip, Layer, LpmTrie, MplsLabel, Packet, Prefix};
+use netsim_net::{Dscp, Ip, Layer, LpmCache, LpmTrie, MplsLabel, Packet, Pkt, Prefix};
 use netsim_qos::{Color, ExpMap, MarkingPolicy, SrTcm};
-use netsim_sim::{Ctx, IfaceId, Node};
+use netsim_sim::{Ctx, FxHashMap, IfaceId, Node};
 
 use crate::trace::TraceLog;
 
@@ -78,7 +77,7 @@ impl CoreRouter {
         self
     }
 
-    fn forward_ip(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
+    fn forward_ip(&mut self, mut pkt: Pkt, ctx: &mut Ctx) {
         self.counters.lpm_lookups += 1;
         let Some(hdr) = pkt.outer_ipv4_mut() else {
             self.counters.dropped_no_route += 1;
@@ -102,7 +101,7 @@ impl CoreRouter {
 }
 
 impl Node for CoreRouter {
-    fn on_packet(&mut self, _iface: IfaceId, mut pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, _iface: IfaceId, mut pkt: Pkt, ctx: &mut Ctx) {
         if pkt.top_label().is_none() {
             return self.forward_ip(pkt, ctx);
         }
@@ -171,6 +170,10 @@ pub struct VrfFib {
     pub name: String,
     /// Per-VRF forwarding table.
     pub fib: LpmTrie<VrfRoute>,
+    /// Route cache for ingress (customer → label imposition) lookups.
+    ingress_cache: LpmCache,
+    /// Route cache for egress (VPN label → local site) lookups.
+    egress_cache: LpmCache,
 }
 
 /// What a PE interface is attached to.
@@ -192,7 +195,7 @@ pub struct PeRouter {
     /// Transit LFIB (the PE is also an LSR for through traffic).
     pub lfib: Lfib,
     /// VPN label dispatch: incoming VPN label → VRF index.
-    pub vpn_ilm: HashMap<u32, usize>,
+    pub vpn_ilm: FxHashMap<u32, usize>,
     /// VRF tables.
     pub vrfs: Vec<VrfFib>,
     /// Role of each interface, indexed by [`IfaceId`].
@@ -201,7 +204,7 @@ pub struct PeRouter {
     pub exp_map: ExpMap,
     /// Optional per-customer-interface policer (srTCM): green passes,
     /// yellow is demoted one AF drop precedence, red is dropped.
-    pub policers: HashMap<usize, SrTcm>,
+    pub policers: FxHashMap<usize, SrTcm>,
     /// Forwarding counters.
     pub counters: RouterCounters,
     /// Optional hop trace.
@@ -215,11 +218,11 @@ impl PeRouter {
         PeRouter {
             name: name.into(),
             lfib,
-            vpn_ilm: HashMap::new(),
+            vpn_ilm: FxHashMap::default(),
             vrfs: Vec::new(),
             iface_roles: vec![PeIfaceRole::Core; core_ifaces],
             exp_map: ExpMap::default(),
-            policers: HashMap::new(),
+            policers: FxHashMap::default(),
             counters: RouterCounters::default(),
             trace: None,
         }
@@ -233,7 +236,12 @@ impl PeRouter {
 
     /// Adds a VRF, returning its index.
     pub fn add_vrf(&mut self, name: impl Into<String>) -> usize {
-        self.vrfs.push(VrfFib { name: name.into(), fib: LpmTrie::new() });
+        self.vrfs.push(VrfFib {
+            name: name.into(),
+            fib: LpmTrie::new(),
+            ingress_cache: LpmCache::default(),
+            egress_cache: LpmCache::default(),
+        });
         self.vrfs.len() - 1
     }
 
@@ -309,7 +317,7 @@ impl PeRouter {
         }
     }
 
-    fn handle_customer(&mut self, in_iface: usize, vrf: usize, mut pkt: Packet, ctx: &mut Ctx) {
+    fn handle_customer(&mut self, in_iface: usize, vrf: usize, mut pkt: Pkt, ctx: &mut Ctx) {
         if !self.police(in_iface, &mut pkt, ctx.now()) {
             self.counters.dropped_policer += 1;
             return;
@@ -324,15 +332,17 @@ impl PeRouter {
         }
         let (dst, dscp, ttl) = (hdr.dst, hdr.dscp, hdr.ttl);
         self.counters.lpm_lookups += 1;
-        let route = match self.vrfs[vrf].fib.lookup(dst) {
-            Some(r) => r.clone(),
-            None => {
-                self.counters.dropped_no_route += 1;
-                return;
-            }
+        // The route is borrowed, not cloned: a `Remote` route owns its
+        // tunnel label vector, and cloning it per packet would put a heap
+        // allocation on the forwarding fast path.
+        let VrfFib { fib, ingress_cache, .. } = &mut self.vrfs[vrf];
+        let Some(route) = fib.lookup_cached(dst, ingress_cache) else {
+            self.counters.dropped_no_route += 1;
+            return;
         };
         match route {
             VrfRoute::Local { out_iface } => {
+                let out_iface = *out_iface;
                 self.counters.forwarded += 1;
                 if let Some(t) = &self.trace {
                     t.record(
@@ -347,7 +357,7 @@ impl PeRouter {
             VrfRoute::Remote { vpn_label, tunnel, .. } => {
                 // §5: map the CPE's DiffServ marking into the MPLS QoS field.
                 let exp = self.exp_map.exp_of(dscp);
-                pkt.push_outer(Layer::Mpls(MplsLabel::new(vpn_label, exp, ttl)));
+                pkt.push_outer(Layer::Mpls(MplsLabel::new(*vpn_label, exp, ttl)));
                 self.counters.label_ops += 1;
                 for &l in &tunnel.push {
                     pkt.push_outer(Layer::Mpls(MplsLabel::new(l, exp, ttl)));
@@ -375,7 +385,7 @@ impl PeRouter {
         }
     }
 
-    fn dispatch_vpn_label(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
+    fn dispatch_vpn_label(&mut self, mut pkt: Pkt, ctx: &mut Ctx) {
         let Some(top) = pkt.top_label() else {
             self.counters.dropped_no_route += 1;
             return;
@@ -391,8 +401,9 @@ impl PeRouter {
             return;
         };
         self.counters.lpm_lookups += 1;
-        match self.vrfs[vrf].fib.lookup(dst).cloned() {
-            Some(VrfRoute::Local { out_iface }) => {
+        let VrfFib { fib, egress_cache, .. } = &mut self.vrfs[vrf];
+        match fib.lookup_cached(dst, egress_cache) {
+            Some(&VrfRoute::Local { out_iface }) => {
                 self.counters.forwarded += 1;
                 if let Some(t) = &self.trace {
                     t.record(
@@ -412,7 +423,7 @@ impl PeRouter {
         }
     }
 
-    fn handle_core(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
+    fn handle_core(&mut self, mut pkt: Pkt, ctx: &mut Ctx) {
         let Some(top) = pkt.top_label() else {
             // Unlabeled traffic from the core is addressed to the PE
             // itself (control plane) in this architecture.
@@ -446,7 +457,7 @@ impl PeRouter {
 }
 
 impl Node for PeRouter {
-    fn on_packet(&mut self, iface: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, iface: IfaceId, pkt: Pkt, ctx: &mut Ctx) {
         match self.iface_roles.get(iface.0).copied() {
             Some(PeIfaceRole::Customer { vrf }) => self.handle_customer(iface.0, vrf, pkt, ctx),
             Some(PeIfaceRole::Core) => self.handle_core(pkt, ctx),
@@ -477,6 +488,8 @@ pub struct CeRouter {
     pub uplink: usize,
     /// Host-facing routes: destination prefix → local interface.
     pub local: LpmTrie<usize>,
+    /// Route cache for [`CeRouter::deliver_local`] (self-invalidating).
+    local_cache: LpmCache,
     /// Upstream classification/marking policy (CPE role). `None` leaves
     /// host markings untouched.
     pub marking: Option<MarkingPolicy>,
@@ -491,6 +504,7 @@ impl CeRouter {
     pub fn new(name: impl Into<String>, marking: Option<MarkingPolicy>) -> Self {
         CeRouter {
             name: name.into(),
+            local_cache: LpmCache::default(),
             uplink: 0,
             local: LpmTrie::new(),
             marking,
@@ -510,9 +524,9 @@ impl CeRouter {
         self.local.insert(prefix, iface);
     }
 
-    fn deliver_local(&mut self, dst: Ip, pkt: Packet, ctx: &mut Ctx) -> bool {
+    fn deliver_local(&mut self, dst: Ip, pkt: Pkt, ctx: &mut Ctx) -> bool {
         self.counters.lpm_lookups += 1;
-        if let Some(&out) = self.local.lookup(dst) {
+        if let Some(&out) = self.local.lookup_cached(dst, &mut self.local_cache) {
             self.counters.forwarded += 1;
             if let Some(t) = &self.trace {
                 t.record(ctx.now(), &self.name, format!("deliver → if{out}"), &pkt);
@@ -526,7 +540,7 @@ impl CeRouter {
 }
 
 impl Node for CeRouter {
-    fn on_packet(&mut self, iface: IfaceId, mut pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, iface: IfaceId, mut pkt: Pkt, ctx: &mut Ctx) {
         let Some(hdr) = pkt.outer_ipv4_mut() else {
             self.counters.dropped_no_route += 1;
             return;

@@ -55,7 +55,7 @@ pub use dscp::Dscp;
 pub use error::NetError;
 pub use fr::VcHeader;
 pub use ip::{proto, Ipv4Header};
-pub use lpm::LpmTrie;
+pub use lpm::{LpmCache, LpmTrie};
 pub use mpls::{MplsLabel, EXPLICIT_NULL, IMPLICIT_NULL, MAX_LABEL, MIN_UNRESERVED_LABEL};
-pub use packet::{Layer, Packet, PktMeta};
+pub use packet::{Layer, Packet, Pkt, PktMeta};
 pub use transport::{FiveTuple, TcpHeader, UdpHeader};

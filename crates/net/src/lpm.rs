@@ -23,11 +23,24 @@ impl<V> Node<V> {
     }
 }
 
+/// One-entry memo for [`LpmTrie::lookup_cached`]: the destination of the
+/// last lookup and the trie node it resolved to, stamped with the trie's
+/// mutation version. `Default` starts empty; owners need no setup.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LpmCache {
+    /// `(destination, matched node index)`; `u32::MAX` encodes a miss.
+    entry: Option<(Ip, u32)>,
+    /// Trie version the entry was taken at.
+    version: u64,
+}
+
 /// A longest-prefix-match table mapping [`Prefix`]es to values of type `V`.
 #[derive(Clone, Debug)]
 pub struct LpmTrie<V> {
     nodes: Vec<Node<V>>,
     len: usize,
+    /// Bumped on every mutation; lets [`LpmCache`] entries self-invalidate.
+    version: u64,
 }
 
 impl<V> Default for LpmTrie<V> {
@@ -39,7 +52,7 @@ impl<V> Default for LpmTrie<V> {
 impl<V> LpmTrie<V> {
     /// Creates an empty table.
     pub fn new() -> Self {
-        LpmTrie { nodes: vec![Node::empty()], len: 0 }
+        LpmTrie { nodes: vec![Node::empty()], len: 0, version: 0 }
     }
 
     /// Number of prefixes stored.
@@ -55,6 +68,7 @@ impl<V> LpmTrie<V> {
     /// Inserts `value` under `prefix`, returning the previous value if the
     /// prefix was already present.
     pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        self.version += 1;
         let mut node = 0usize;
         for i in 0..prefix.len() {
             let bit = prefix.addr().bit(i) as usize;
@@ -95,6 +109,49 @@ impl<V> LpmTrie<V> {
         best
     }
 
+    /// [`LpmTrie::lookup`] memoized through a caller-owned [`LpmCache`].
+    ///
+    /// Routers keep one cache per table next to it; steady flows hit the
+    /// same destination repeatedly, turning the bit-by-bit trie walk into a
+    /// single indexed load. The cache is stamped with the trie's mutation
+    /// version, so route changes (insert/remove/`get_mut`) transparently
+    /// force a re-walk — no explicit invalidation hook to forget.
+    #[inline]
+    pub fn lookup_cached<'a>(&'a self, ip: Ip, cache: &mut LpmCache) -> Option<&'a V> {
+        if cache.version == self.version {
+            if let Some((hit_ip, node)) = cache.entry {
+                if hit_ip == ip {
+                    if node == NONE {
+                        return None;
+                    }
+                    return self.nodes[node as usize].value.as_ref();
+                }
+            }
+        }
+        // Miss (or stale): walk the trie, remembering the deepest node
+        // carrying a value so the next packet to `ip` skips the walk.
+        let mut best: u32 = if self.nodes[0].value.is_some() { 0 } else { NONE };
+        let mut node = 0usize;
+        for i in 0..32 {
+            let bit = ip.bit(i) as usize;
+            let next = self.nodes[node].child[bit];
+            if next == NONE {
+                break;
+            }
+            node = next as usize;
+            if self.nodes[node].value.is_some() {
+                best = node as u32;
+            }
+        }
+        cache.version = self.version;
+        cache.entry = Some((ip, best));
+        if best == NONE {
+            None
+        } else {
+            self.nodes[best as usize].value.as_ref()
+        }
+    }
+
     /// Like [`LpmTrie::lookup`] but also returns the matched prefix.
     pub fn lookup_entry(&self, ip: Ip) -> Option<(Prefix, &V)> {
         let mut best: Option<(u8, &V)> = self.nodes[0].value.as_ref().map(|v| (0u8, v));
@@ -122,6 +179,7 @@ impl<V> LpmTrie<V> {
     /// Mutable exact-match lookup.
     pub fn get_mut(&mut self, prefix: Prefix) -> Option<&mut V> {
         let node = self.find_node(prefix)?;
+        self.version += 1;
         self.nodes[node].value.as_mut()
     }
 
@@ -129,6 +187,7 @@ impl<V> LpmTrie<V> {
     /// are not reclaimed (tables in the emulator only shrink when routes are
     /// withdrawn, and reuse the slots on re-insert).
     pub fn remove(&mut self, prefix: Prefix) -> Option<V> {
+        self.version += 1;
         let node = self.find_node(prefix)?;
         let old = self.nodes[node].value.take();
         if old.is_some() {
@@ -267,5 +326,39 @@ mod tests {
         t.insert(pfx("10.0.0.0/8"), 8);
         assert_eq!(t.get(pfx("10.0.0.0/8")), Some(&8));
         assert_eq!(t.get(pfx("10.1.0.0/16")), None);
+    }
+
+    #[test]
+    fn cached_lookup_matches_plain_lookup() {
+        let mut t = LpmTrie::new();
+        t.insert(pfx("10.0.0.0/8"), "core");
+        t.insert(pfx("10.1.0.0/16"), "site");
+        let mut cache = LpmCache::default();
+        for ip in ["10.1.2.3", "10.9.9.9", "172.16.0.1", "10.1.2.3"] {
+            let ip: Ip = ip.parse().unwrap();
+            assert_eq!(t.lookup_cached(ip, &mut cache), t.lookup(ip), "{ip:?}");
+            // Immediate repeat exercises the hit path.
+            assert_eq!(t.lookup_cached(ip, &mut cache), t.lookup(ip), "{ip:?} (hit)");
+        }
+    }
+
+    #[test]
+    fn cache_invalidated_by_mutation() {
+        let mut t = LpmTrie::new();
+        t.insert(pfx("10.0.0.0/8"), 1);
+        let dst: Ip = "10.1.2.3".parse().unwrap();
+        let mut cache = LpmCache::default();
+        assert_eq!(t.lookup_cached(dst, &mut cache), Some(&1));
+        // A more specific route must take over despite the warm cache.
+        t.insert(pfx("10.1.0.0/16"), 2);
+        assert_eq!(t.lookup_cached(dst, &mut cache), Some(&2));
+        // Withdrawal must fall back to the covering prefix.
+        t.remove(pfx("10.1.0.0/16"));
+        assert_eq!(t.lookup_cached(dst, &mut cache), Some(&1));
+        // And a cached miss must be revalidated too.
+        let other: Ip = "192.168.0.1".parse().unwrap();
+        assert_eq!(t.lookup_cached(other, &mut cache), None);
+        t.insert(pfx("0.0.0.0/0"), 9);
+        assert_eq!(t.lookup_cached(other, &mut cache), Some(&9));
     }
 }

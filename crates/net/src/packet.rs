@@ -74,10 +74,116 @@ pub struct PktMeta {
     pub created_ns: u64,
 }
 
+/// A heap-boxed packet: the form in which packets travel through queues,
+/// the event calendar, and node handlers. Hot-path code moves this 8-byte
+/// handle instead of the ~150-byte [`Packet`] itself; the one allocation
+/// happens at the traffic source and the box is reused unchanged across
+/// every hop until the sink frees it. `Packet: Into<Pkt>` (via the blanket
+/// `From<T> for Box<T>`), so construction sites can stay oblivious.
+pub type Pkt = Box<Packet>;
+
+/// Inline capacity of a packet's layer stack. VPN-path stacks are at most
+/// four deep (MPLS×2 / IPv4 / UDP), so the common case never touches the
+/// heap; deeper stacks (nested tunnels) spill to a vector.
+const INLINE_LAYERS: usize = 4;
+
+/// Placeholder occupying unused inline slots; never observable through the
+/// public API, which only exposes the live prefix.
+const FILL: Layer = Layer::Vc(VcHeader { vc_id: 0, discard_eligible: false });
+
+/// Layer storage: a fixed inline array up to [`INLINE_LAYERS`] deep, or a
+/// heap vector beyond that. Both variants keep the stack contiguous so
+/// accessors can hand out plain slices.
+#[derive(Clone)]
+enum LayerStack {
+    Inline { len: u8, buf: [Layer; INLINE_LAYERS] },
+    Heap(Vec<Layer>),
+}
+
+impl LayerStack {
+    fn pair(a: Layer, b: Layer) -> Self {
+        LayerStack::Inline { len: 2, buf: [a, b, FILL, FILL] }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[Layer] {
+        match self {
+            LayerStack::Inline { len, buf } => &buf[..*len as usize],
+            LayerStack::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [Layer] {
+        match self {
+            LayerStack::Inline { len, buf } => &mut buf[..*len as usize],
+            LayerStack::Heap(v) => v,
+        }
+    }
+
+    fn push_front(&mut self, layer: Layer) {
+        match self {
+            LayerStack::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < INLINE_LAYERS {
+                    buf.copy_within(0..n, 1);
+                    buf[0] = layer;
+                    *len += 1;
+                } else {
+                    // Spill; a stack that has gone deep once stays on the
+                    // heap for the rest of its life.
+                    let mut v = Vec::with_capacity(INLINE_LAYERS * 2);
+                    v.push(layer);
+                    v.extend_from_slice(buf);
+                    *self = LayerStack::Heap(v);
+                }
+            }
+            LayerStack::Heap(v) => v.insert(0, layer),
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<Layer> {
+        match self {
+            LayerStack::Inline { len, buf } => {
+                if *len == 0 {
+                    return None;
+                }
+                let out = buf[0];
+                buf.copy_within(1..*len as usize, 0);
+                *len -= 1;
+                Some(out)
+            }
+            LayerStack::Heap(v) => {
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v.remove(0))
+                }
+            }
+        }
+    }
+}
+
+impl From<Vec<Layer>> for LayerStack {
+    fn from(v: Vec<Layer>) -> Self {
+        if v.len() <= INLINE_LAYERS {
+            let mut buf = [FILL; INLINE_LAYERS];
+            buf[..v.len()].copy_from_slice(&v);
+            LayerStack::Inline { len: v.len() as u8, buf }
+        } else {
+            LayerStack::Heap(v)
+        }
+    }
+}
+
 /// A packet: layered headers over an opaque payload.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone)]
 pub struct Packet {
-    layers: Vec<Layer>,
+    layers: LayerStack,
+    /// Cached sum of the layers' header bytes; maintained by every method
+    /// that alters the stack so [`Packet::wire_len`] is O(1). Payload bytes
+    /// are not included (the payload field is public and may be swapped).
+    hdr_len: u32,
     /// Opaque application payload (or ESP ciphertext when the innermost
     /// layer is [`Layer::Esp`]).
     pub payload: Bytes,
@@ -85,10 +191,27 @@ pub struct Packet {
     pub meta: PktMeta,
 }
 
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        self.layers() == other.layers() && self.payload == other.payload && self.meta == other.meta
+    }
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Packet")
+            .field("layers", &self.layers())
+            .field("payload", &self.payload)
+            .field("meta", &self.meta)
+            .finish()
+    }
+}
+
 impl Packet {
     /// Creates a packet from layers (outermost first) and payload.
     pub fn new(layers: Vec<Layer>, payload: Bytes) -> Self {
-        Packet { layers, payload, meta: PktMeta::default() }
+        let hdr_len = layers.iter().map(Layer::wire_len).sum::<usize>() as u32;
+        Packet { layers: layers.into(), hdr_len, payload, meta: PktMeta::default() }
     }
 
     /// Convenience: a UDP datagram with `payload_len` zero bytes of payload.
@@ -100,13 +223,15 @@ impl Packet {
         dscp: Dscp,
         payload_len: usize,
     ) -> Self {
-        Packet::new(
-            vec![
+        Packet {
+            layers: LayerStack::pair(
                 Layer::Ipv4(Ipv4Header::new(src, dst, proto::UDP, dscp)),
                 Layer::Udp(UdpHeader::new(src_port, dst_port)),
-            ],
-            Bytes::from(vec![0u8; payload_len]),
-        )
+            ),
+            hdr_len: (IPV4_HEADER_LEN + UDP_HEADER_LEN) as u32,
+            payload: Bytes::zeroed(payload_len),
+            meta: PktMeta::default(),
+        }
     }
 
     /// Convenience: a TCP segment with `payload_len` zero bytes of payload.
@@ -119,54 +244,67 @@ impl Packet {
         seq: u32,
         payload_len: usize,
     ) -> Self {
-        Packet::new(
-            vec![
+        Packet {
+            layers: LayerStack::pair(
                 Layer::Ipv4(Ipv4Header::new(src, dst, proto::TCP, dscp)),
                 Layer::Tcp(TcpHeader::new(src_port, dst_port, seq)),
-            ],
-            Bytes::from(vec![0u8; payload_len]),
-        )
+            ),
+            hdr_len: (IPV4_HEADER_LEN + TCP_HEADER_LEN) as u32,
+            payload: Bytes::zeroed(payload_len),
+            meta: PktMeta::default(),
+        }
     }
 
     /// The layer stack, outermost first.
     #[inline]
     pub fn layers(&self) -> &[Layer] {
-        &self.layers
+        self.layers.as_slice()
     }
 
     /// The outermost layer, if any.
     #[inline]
     pub fn outer(&self) -> Option<&Layer> {
-        self.layers.first()
+        self.layers().first()
     }
 
     /// Mutable access to the outermost layer.
     #[inline]
     pub fn outer_mut(&mut self) -> Option<&mut Layer> {
-        self.layers.first_mut()
+        self.layers.as_mut_slice().first_mut()
     }
 
     /// Pushes a new outermost layer (encapsulation).
     #[inline]
     pub fn push_outer(&mut self, layer: Layer) {
-        self.layers.insert(0, layer);
+        self.hdr_len += layer.wire_len() as u32;
+        self.layers.push_front(layer);
     }
 
     /// Removes and returns the outermost layer (decapsulation).
     #[inline]
     pub fn pop_outer(&mut self) -> Option<Layer> {
-        if self.layers.is_empty() {
-            None
-        } else {
-            Some(self.layers.remove(0))
+        let popped = self.layers.pop_front();
+        if let Some(l) = &popped {
+            self.hdr_len -= l.wire_len() as u32;
         }
+        popped
     }
 
     /// Total on-wire size in bytes: all layer headers plus the payload.
     /// This is the size links charge when serializing the packet.
+    ///
+    /// O(1): header bytes are cached across push/pop. The debug assert
+    /// catches the one way the cache could rot — replacing a layer with a
+    /// different *variant* through [`Packet::outer_mut`] (in-place header
+    /// field edits, the intended use, keep the variant and its size).
     #[inline]
     pub fn wire_len(&self) -> usize {
-        self.layers.iter().map(Layer::wire_len).sum::<usize>() + self.payload.len()
+        debug_assert_eq!(
+            self.hdr_len as usize,
+            self.layers().iter().map(Layer::wire_len).sum::<usize>(),
+            "cached header length diverged from the layer stack",
+        );
+        self.hdr_len as usize + self.payload.len()
     }
 
     /// The outermost MPLS label entry, if the packet is currently labeled.
@@ -180,12 +318,12 @@ impl Packet {
 
     /// Number of MPLS entries at the top of the stack.
     pub fn label_depth(&self) -> usize {
-        self.layers.iter().take_while(|l| matches!(l, Layer::Mpls(_))).count()
+        self.layers().iter().take_while(|l| matches!(l, Layer::Mpls(_))).count()
     }
 
     /// The first (outermost) IPv4 header, skipping any MPLS/VC encapsulation.
     pub fn outer_ipv4(&self) -> Option<&Ipv4Header> {
-        self.layers.iter().find_map(|l| match l {
+        self.layers().iter().find_map(|l| match l {
             Layer::Ipv4(h) => Some(h),
             _ => None,
         })
@@ -193,7 +331,7 @@ impl Packet {
 
     /// Mutable access to the first IPv4 header.
     pub fn outer_ipv4_mut(&mut self) -> Option<&mut Ipv4Header> {
-        self.layers.iter_mut().find_map(|l| match l {
+        self.layers.as_mut_slice().iter_mut().find_map(|l| match l {
             Layer::Ipv4(h) => Some(h),
             _ => None,
         })
@@ -203,7 +341,7 @@ impl Packet {
     /// Note this cannot see through ESP: an encrypted inner packet lives in
     /// the payload and is *not* visible here, by design.
     pub fn inner_ipv4(&self) -> Option<&Ipv4Header> {
-        self.layers.iter().rev().find_map(|l| match l {
+        self.layers().iter().rev().find_map(|l| match l {
             Layer::Ipv4(h) => Some(h),
             _ => None,
         })
@@ -214,9 +352,10 @@ impl Packet {
     /// it. For an ESP packet this yields `protocol = 50` with zero ports —
     /// exactly the information loss the paper describes (§3).
     pub fn visible_five_tuple(&self) -> Option<FiveTuple> {
-        let idx = self.layers.iter().position(|l| matches!(l, Layer::Ipv4(_)))?;
-        let Layer::Ipv4(ip) = &self.layers[idx] else { unreachable!() };
-        let (src_port, dst_port) = match self.layers.get(idx + 1) {
+        let layers = self.layers();
+        let idx = layers.iter().position(|l| matches!(l, Layer::Ipv4(_)))?;
+        let Layer::Ipv4(ip) = &layers[idx] else { unreachable!() };
+        let (src_port, dst_port) = match layers.get(idx + 1) {
             Some(Layer::Udp(u)) => (u.src_port, u.dst_port),
             Some(Layer::Tcp(t)) => (t.src_port, t.dst_port),
             _ => (0, 0),
@@ -296,6 +435,43 @@ mod tests {
         )));
         assert_eq!(p.inner_ipv4().unwrap().dst, inner_dst);
         assert_eq!(p.outer_ipv4().unwrap().dst, ip("100.0.0.2"));
+    }
+
+    #[test]
+    fn deep_stack_spills_to_heap_and_back_pops_in_order() {
+        // Push four labels over IPv4+UDP: exceeds the inline capacity, so
+        // the stack spills; every accessor must behave identically.
+        let mut p = sample();
+        for i in 0..4u32 {
+            p.push_outer(Layer::Mpls(MplsLabel::new(100 + i, 0, 64)));
+        }
+        assert_eq!(p.layers().len(), 6);
+        assert_eq!(p.label_depth(), 4);
+        assert_eq!(p.top_label().unwrap().label, 103);
+        assert_eq!(p.wire_len(), 4 * 4 + 20 + 8 + 100);
+        assert_eq!(p.inner_ipv4().unwrap().dst, ip("10.0.0.2"));
+        for i in (0..4u32).rev() {
+            assert_eq!(p.pop_outer(), Some(Layer::Mpls(MplsLabel::new(100 + i, 0, 64))));
+        }
+        assert_eq!(p, sample(), "fully decapsulated packet equals the original");
+    }
+
+    #[test]
+    fn inline_and_heap_packets_compare_by_live_layers_only() {
+        // Drive `b` past the inline capacity so it spills, then strip it
+        // back down: it must compare equal to the never-spilled `a` and
+        // render no trace of the popped layers.
+        let a = sample();
+        let mut b = sample();
+        for i in 0..3u32 {
+            b.push_outer(Layer::Mpls(MplsLabel::new(i, 0, 64)));
+        }
+        assert_ne!(a, b);
+        for _ in 0..3 {
+            b.pop_outer();
+        }
+        assert_eq!(a, b);
+        assert_eq!(format!("{b:?}").matches("Mpls").count(), 0);
     }
 
     #[test]

@@ -209,4 +209,30 @@ proptest! {
         // RFC 1071: a message with a correct checksum folds to 0 or 0xFFFF is not possible here
         prop_assert_eq!(internet_checksum(&d), 0);
     }
+
+    /// ISSUE 2 satellite: the packet's reported wire length must equal the
+    /// sum of its layers' header sizes plus the payload — through every
+    /// representation the inline small-vector stack can take. Pushing up to
+    /// six extra labels forces the inline→heap spill; popping everything
+    /// walks back through the boundary. This pins the O(1) cached header
+    /// length to the ground truth at each step.
+    #[test]
+    fn wire_len_is_sum_of_layers_plus_payload(
+        pkt in arb_packet(),
+        extra in proptest::collection::vec((0u32..(1 << 20), 0u8..8, 1u8..=255), 0..6),
+    ) {
+        fn ground_truth(p: &Packet) -> usize {
+            p.layers().iter().map(Layer::wire_len).sum::<usize>() + p.payload.len()
+        }
+        let mut pkt = pkt;
+        prop_assert_eq!(pkt.wire_len(), ground_truth(&pkt));
+        for (label, exp, ttl) in extra {
+            pkt.push_outer(Layer::Mpls(MplsLabel::new(label, exp, ttl)));
+            prop_assert_eq!(pkt.wire_len(), ground_truth(&pkt));
+        }
+        while pkt.pop_outer().is_some() {
+            prop_assert_eq!(pkt.wire_len(), ground_truth(&pkt));
+        }
+        prop_assert_eq!(pkt.wire_len(), pkt.payload.len());
+    }
 }

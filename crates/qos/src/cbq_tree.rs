@@ -23,7 +23,7 @@
 
 use std::collections::VecDeque;
 
-use netsim_net::Packet;
+use netsim_net::Pkt;
 
 use crate::meter::TokenBucket;
 use crate::queue::{ClassOf, EnqueueOutcome, QueueDiscipline};
@@ -47,7 +47,7 @@ struct TreeNode {
     cfg: CbqNodeConfig,
     bucket: TokenBucket,
     /// Queue, present only on leaves.
-    q: Option<VecDeque<Packet>>,
+    q: Option<VecDeque<Pkt>>,
     bytes: usize,
     drops: u64,
 }
@@ -141,7 +141,7 @@ impl HierCbq {
         true
     }
 
-    fn try_pass(&mut self, now: Nanos, only_bounded: bool) -> Option<Packet> {
+    fn try_pass(&mut self, now: Nanos, only_bounded: bool) -> Option<Pkt> {
         let n_leaves = self.leaves.len();
         for off in 0..n_leaves {
             let li = (self.rr + off) % n_leaves;
@@ -164,7 +164,7 @@ impl HierCbq {
 }
 
 impl QueueDiscipline for HierCbq {
-    fn enqueue(&mut self, pkt: Packet, _now: Nanos) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: Pkt, _now: Nanos) -> EnqueueOutcome {
         let li = (self.class_of)(&pkt).min(self.leaves.len() - 1);
         let leaf = self.leaves[li];
         let node = &mut self.nodes[leaf];
@@ -178,7 +178,7 @@ impl QueueDiscipline for HierCbq {
         EnqueueOutcome::Queued
     }
 
-    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, now: Nanos) -> Option<Pkt> {
         // In-profile leaves first, then borrowers (gated by bounded
         // ancestors only).
         self.try_pass(now, false).or_else(|| self.try_pass(now, true))
@@ -226,11 +226,12 @@ mod tests {
     use super::*;
     use netsim_net::addr::ip;
     use netsim_net::Dscp;
+    use netsim_net::Packet;
 
-    fn pkt(class: u64, payload: usize) -> Packet {
+    fn pkt(class: u64, payload: usize) -> Pkt {
         let mut p = Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, payload);
         p.meta.flow = class;
-        p
+        p.into()
     }
 
     fn by_flow() -> ClassOf {

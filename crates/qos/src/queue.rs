@@ -5,7 +5,7 @@
 //! idle. All QoS experiments reduce to swapping the discipline attached to
 //! the bottleneck link.
 
-use netsim_net::Packet;
+use netsim_net::{Packet, Pkt};
 
 use crate::Nanos;
 
@@ -15,7 +15,7 @@ pub enum EnqueueOutcome {
     /// The packet was accepted.
     Queued,
     /// The packet was dropped (returned for loss accounting).
-    Dropped(Packet),
+    Dropped(Pkt),
 }
 
 impl EnqueueOutcome {
@@ -28,10 +28,10 @@ impl EnqueueOutcome {
 /// A queueing discipline: the scheduler + buffer attached to a link egress.
 pub trait QueueDiscipline: Send {
     /// Offers a packet at time `now`.
-    fn enqueue(&mut self, pkt: Packet, now: Nanos) -> EnqueueOutcome;
+    fn enqueue(&mut self, pkt: Pkt, now: Nanos) -> EnqueueOutcome;
 
     /// Takes the next packet to transmit at time `now`, if any.
-    fn dequeue(&mut self, now: Nanos) -> Option<Packet>;
+    fn dequeue(&mut self, now: Nanos) -> Option<Pkt>;
 
     /// Packets currently buffered.
     fn len_packets(&self) -> usize;
@@ -93,7 +93,7 @@ pub fn class_by_exp_or_dscp() -> ClassOf {
 
 /// A FIFO with tail drop, bounded by bytes (the common router buffer model).
 pub struct FifoQueue {
-    q: std::collections::VecDeque<Packet>,
+    q: std::collections::VecDeque<Pkt>,
     bytes: usize,
     cap_bytes: usize,
     drops: u64,
@@ -112,7 +112,7 @@ impl FifoQueue {
 }
 
 impl QueueDiscipline for FifoQueue {
-    fn enqueue(&mut self, pkt: Packet, _now: Nanos) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: Pkt, _now: Nanos) -> EnqueueOutcome {
         let sz = pkt.wire_len();
         if self.bytes + sz > self.cap_bytes {
             self.drops += 1;
@@ -123,7 +123,7 @@ impl QueueDiscipline for FifoQueue {
         EnqueueOutcome::Queued
     }
 
-    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, _now: Nanos) -> Option<Pkt> {
         let pkt = self.q.pop_front()?;
         self.bytes -= pkt.wire_len();
         Some(pkt)
@@ -138,7 +138,7 @@ impl QueueDiscipline for FifoQueue {
     }
 
     fn peek_len(&self) -> Option<usize> {
-        self.q.front().map(Packet::wire_len)
+        self.q.front().map(|p| p.wire_len())
     }
 }
 
@@ -148,8 +148,8 @@ mod tests {
     use netsim_net::addr::ip;
     use netsim_net::Dscp;
 
-    fn pkt(n: usize) -> Packet {
-        Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, n)
+    fn pkt(n: usize) -> Pkt {
+        Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, n).into()
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use netsim_net::Packet;
+use netsim_net::Pkt;
 
 use crate::queue::{ClassOf, EnqueueOutcome, QueueDiscipline};
 use crate::Nanos;
@@ -128,7 +128,7 @@ impl RedCore {
 /// A RED-managed FIFO, optionally ECN-aware (RFC 3168: mark instead of
 /// drop for ECN-capable packets).
 pub struct RedQueue {
-    q: VecDeque<Packet>,
+    q: VecDeque<Pkt>,
     bytes: usize,
     cap_bytes: usize,
     params: RedParams,
@@ -186,7 +186,7 @@ impl RedQueue {
 }
 
 impl QueueDiscipline for RedQueue {
-    fn enqueue(&mut self, mut pkt: Packet, now: Nanos) -> EnqueueOutcome {
+    fn enqueue(&mut self, mut pkt: Pkt, now: Nanos) -> EnqueueOutcome {
         self.core.update_avg(self.bytes, now);
         let sz = pkt.wire_len();
         if self.bytes + sz > self.cap_bytes {
@@ -209,7 +209,7 @@ impl QueueDiscipline for RedQueue {
         EnqueueOutcome::Queued
     }
 
-    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, now: Nanos) -> Option<Pkt> {
         let pkt = self.q.pop_front()?;
         self.bytes -= pkt.wire_len();
         if self.q.is_empty() {
@@ -227,7 +227,7 @@ impl QueueDiscipline for RedQueue {
     }
 
     fn peek_len(&self) -> Option<usize> {
-        self.q.front().map(Packet::wire_len)
+        self.q.front().map(|p| p.wire_len())
     }
 }
 
@@ -236,7 +236,7 @@ impl QueueDiscipline for RedQueue {
 /// eligible" for the overlay baseline). Classes with lower thresholds are
 /// culled earlier under congestion.
 pub struct WredQueue {
-    q: VecDeque<Packet>,
+    q: VecDeque<Pkt>,
     bytes: usize,
     cap_bytes: usize,
     profiles: Vec<RedParams>,
@@ -293,7 +293,7 @@ impl WredQueue {
 }
 
 impl QueueDiscipline for WredQueue {
-    fn enqueue(&mut self, pkt: Packet, now: Nanos) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: Pkt, now: Nanos) -> EnqueueOutcome {
         self.core.update_avg(self.bytes, now);
         let sz = pkt.wire_len();
         if self.bytes + sz > self.cap_bytes {
@@ -311,7 +311,7 @@ impl QueueDiscipline for WredQueue {
         EnqueueOutcome::Queued
     }
 
-    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, now: Nanos) -> Option<Pkt> {
         let pkt = self.q.pop_front()?;
         self.bytes -= pkt.wire_len();
         if self.q.is_empty() {
@@ -329,7 +329,7 @@ impl QueueDiscipline for WredQueue {
     }
 
     fn peek_len(&self) -> Option<usize> {
-        self.q.front().map(Packet::wire_len)
+        self.q.front().map(|p| p.wire_len())
     }
 }
 
@@ -338,9 +338,10 @@ mod tests {
     use super::*;
     use netsim_net::addr::ip;
     use netsim_net::Dscp;
+    use netsim_net::Packet;
 
-    fn pkt(n: usize) -> Packet {
-        Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, n)
+    fn pkt(n: usize) -> Pkt {
+        Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, n).into()
     }
 
     /// Fill-and-hold: with the average persistently above max_th, every

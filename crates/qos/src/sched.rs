@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use netsim_net::Packet;
+use netsim_net::Pkt;
 
 use crate::meter::TokenBucket;
 use crate::queue::{ClassOf, EnqueueOutcome, QueueDiscipline};
@@ -45,7 +45,7 @@ impl PriorityScheduler {
 }
 
 impl QueueDiscipline for PriorityScheduler {
-    fn enqueue(&mut self, pkt: Packet, now: Nanos) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: Pkt, now: Nanos) -> EnqueueOutcome {
         let band = (self.class_of)(&pkt).min(self.bands.len() - 1);
         let out = self.bands[band].enqueue(pkt, now);
         if !out.is_queued() {
@@ -54,7 +54,7 @@ impl QueueDiscipline for PriorityScheduler {
         out
     }
 
-    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, now: Nanos) -> Option<Pkt> {
         for band in self.bands.iter_mut().rev() {
             if let Some(p) = band.dequeue(now) {
                 return Some(p);
@@ -82,7 +82,7 @@ impl QueueDiscipline for PriorityScheduler {
 
 struct WfqClass {
     weight: u64,
-    q: VecDeque<(u128, Packet)>, // (virtual finish time, packet)
+    q: VecDeque<(u128, Pkt)>, // (virtual finish time, packet)
     bytes: usize,
     cap_bytes: usize,
     last_finish: u128,
@@ -134,7 +134,7 @@ impl WfqScheduler {
 }
 
 impl QueueDiscipline for WfqScheduler {
-    fn enqueue(&mut self, pkt: Packet, _now: Nanos) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: Pkt, _now: Nanos) -> EnqueueOutcome {
         let ci = (self.class_of)(&pkt).min(self.classes.len() - 1);
         let c = &mut self.classes[ci];
         let sz = pkt.wire_len();
@@ -150,7 +150,7 @@ impl QueueDiscipline for WfqScheduler {
         EnqueueOutcome::Queued
     }
 
-    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, _now: Nanos) -> Option<Pkt> {
         let ci = self
             .classes
             .iter()
@@ -188,7 +188,7 @@ impl QueueDiscipline for WfqScheduler {
 struct DrrClass {
     quantum: usize,
     deficit: usize,
-    q: VecDeque<Packet>,
+    q: VecDeque<Pkt>,
     bytes: usize,
     cap_bytes: usize,
     active: bool,
@@ -235,7 +235,7 @@ impl DrrScheduler {
 }
 
 impl QueueDiscipline for DrrScheduler {
-    fn enqueue(&mut self, pkt: Packet, _now: Nanos) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: Pkt, _now: Nanos) -> EnqueueOutcome {
         let ci = (self.class_of)(&pkt).min(self.classes.len() - 1);
         let c = &mut self.classes[ci];
         let sz = pkt.wire_len();
@@ -253,7 +253,7 @@ impl QueueDiscipline for DrrScheduler {
         EnqueueOutcome::Queued
     }
 
-    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, _now: Nanos) -> Option<Pkt> {
         loop {
             let &ci = self.active.front()?;
             let c = &mut self.classes[ci];
@@ -314,7 +314,7 @@ pub struct CbqClassConfig {
 struct CbqClass {
     cfg: CbqClassConfig,
     bucket: TokenBucket,
-    q: VecDeque<Packet>,
+    q: VecDeque<Pkt>,
     bytes: usize,
     drops: u64,
     /// Bytes sent by borrowing (over-rate), for introspection.
@@ -368,7 +368,7 @@ impl CbqScheduler {
 }
 
 impl QueueDiscipline for CbqScheduler {
-    fn enqueue(&mut self, pkt: Packet, _now: Nanos) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: Pkt, _now: Nanos) -> EnqueueOutcome {
         let ci = (self.class_of)(&pkt).min(self.classes.len() - 1);
         let c = &mut self.classes[ci];
         let sz = pkt.wire_len();
@@ -381,7 +381,7 @@ impl QueueDiscipline for CbqScheduler {
         EnqueueOutcome::Queued
     }
 
-    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, now: Nanos) -> Option<Pkt> {
         let n = self.classes.len();
         // Pass 1: in-profile classes, round-robin from self.rr.
         for off in 0..n {
@@ -448,11 +448,12 @@ mod tests {
     use crate::queue::FifoQueue;
     use netsim_net::addr::ip;
     use netsim_net::Dscp;
+    use netsim_net::Packet;
 
-    fn pkt_class(class: u64, payload: usize) -> Packet {
+    fn pkt_class(class: u64, payload: usize) -> Pkt {
         let mut p = Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, payload);
         p.meta.flow = class;
-        p
+        p.into()
     }
 
     fn by_flow() -> ClassOf {

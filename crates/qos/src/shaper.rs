@@ -7,7 +7,7 @@
 //! non-work-conserving, so it leans on
 //! [`QueueDiscipline::next_ready`] to have the link retry.
 
-use netsim_net::Packet;
+use netsim_net::Pkt;
 
 use crate::meter::TokenBucket;
 use crate::queue::{EnqueueOutcome, QueueDiscipline};
@@ -34,11 +34,11 @@ impl ShapedQueue {
 }
 
 impl QueueDiscipline for ShapedQueue {
-    fn enqueue(&mut self, pkt: Packet, now: Nanos) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: Pkt, now: Nanos) -> EnqueueOutcome {
         self.child.enqueue(pkt, now)
     }
 
-    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+    fn dequeue(&mut self, now: Nanos) -> Option<Pkt> {
         // The child decides *which* packet; the bucket decides *when*.
         // With a child that can report its head size we budget exactly;
         // otherwise we conservatively require one MTU of tokens before
@@ -83,9 +83,10 @@ mod tests {
     use crate::queue::FifoQueue;
     use netsim_net::addr::ip;
     use netsim_net::Dscp;
+    use netsim_net::Packet;
 
-    fn pkt(n: usize) -> Packet {
-        Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, n)
+    fn pkt(n: usize) -> Pkt {
+        Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, n).into()
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! traffic pattern.
 
 use netsim_net::addr::ip;
-use netsim_net::{Dscp, Packet};
+use netsim_net::{Dscp, Packet, Pkt};
 use netsim_qos::sched::CbqClassConfig;
 use netsim_qos::{
     CbqScheduler, ClassOf, DrrScheduler, EnqueueOutcome, FifoQueue, PriorityScheduler,
@@ -28,11 +28,11 @@ fn arb_ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
-fn mk_pkt(class: u8, payload: u16, seq: u64) -> Packet {
+fn mk_pkt(class: u8, payload: u16, seq: u64) -> Pkt {
     let mut p = Packet::udp(ip("10.0.0.1"), ip("10.0.0.2"), 1, 2, Dscp::BE, payload as usize);
     p.meta.flow = u64::from(class);
     p.meta.seq = seq;
-    p
+    p.into()
 }
 
 fn by_flow() -> ClassOf {

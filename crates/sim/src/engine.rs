@@ -1,11 +1,9 @@
 //! The event calendar, link model and [`Network`] container.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use netsim_net::Pkt;
+use netsim_qos::{EnqueueOutcome, FifoQueue, Nanos, QueueDiscipline, TxCost};
 
-use netsim_net::Packet;
-use netsim_qos::{tx_time, EnqueueOutcome, FifoQueue, Nanos, QueueDiscipline};
-
+use crate::calendar::TimingWheel;
 use crate::node::{Action, Ctx, IfaceId, Node, NodeId};
 
 /// Identifies a duplex link within one [`Network`].
@@ -39,7 +37,7 @@ impl LinkConfig {
 }
 
 /// Per-direction transmit statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct LinkStats {
     /// Packets fully serialized onto the wire.
     pub tx_packets: u64,
@@ -63,14 +61,23 @@ impl LinkStats {
 }
 
 struct Direction {
-    rate_bps: u64,
+    /// Link rate plus its fixed-point reciprocal: serialization times come
+    /// from a multiply instead of a per-packet division (bit-exact).
+    tx_cost: TxCost,
     delay_ns: Nanos,
     qdisc: Box<dyn QueueDiscipline>,
     enabled: bool,
-    busy: bool,
-    /// A retry event is already scheduled (avoids flooding the calendar for
-    /// non-work-conserving disciplines).
-    retry_armed: bool,
+    /// The transmitter is serializing until this instant; it is idle when
+    /// `now >= busy_until`. Tracking the completion time instead of a busy
+    /// flag lets an empty egress skip its completion event entirely: the
+    /// next enqueue observes the timestamp and either starts transmitting
+    /// immediately or arms one [`Event::TxIdle`] poke at `busy_until`.
+    busy_until: Nanos,
+    /// Earliest outstanding [`Event::TxIdle`] poke for this direction, or
+    /// `Nanos::MAX` when none is known. Pokes are never cancelled — a
+    /// superseded one fires as a harmless no-op — the field only
+    /// deduplicates arming so the calendar is not flooded.
+    poke_at: Nanos,
     dst_node: NodeId,
     dst_iface: IfaceId,
     stats: LinkStats,
@@ -82,37 +89,14 @@ struct Link {
 
 enum Event {
     /// Packet finishes propagation and arrives at a node.
-    Arrival { node: NodeId, iface: IfaceId, pkt: Packet },
+    Arrival { node: NodeId, iface: IfaceId, pkt: Pkt },
     /// A transmitter finished serialization (or a retry poke): try to start
     /// the next transmission on (link, dir).
     TxIdle { link: LinkId, dir: u8 },
     /// A node timer fires.
     Timer { node: NodeId, token: u64 },
     /// A deferred send (see [`Ctx::send_after`]) reaches its egress queue.
-    DeferredSend { node: NodeId, iface: IfaceId, pkt: Packet },
-}
-
-struct Scheduled {
-    at: Nanos,
-    seq: u64,
-    ev: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+    DeferredSend { node: NodeId, iface: IfaceId, pkt: Pkt },
 }
 
 /// The simulated network: nodes, links, and the event calendar.
@@ -121,10 +105,13 @@ pub struct Network {
     /// Per node: iface index → (link, direction owned by this node).
     ifaces: Vec<Vec<(LinkId, u8)>>,
     links: Vec<Link>,
-    calendar: BinaryHeap<Reverse<Scheduled>>,
+    calendar: TimingWheel<Event>,
     now: Nanos,
     seq: u64,
     events_processed: u64,
+    /// Reusable [`Action`] buffer handed to each dispatched [`Ctx`], so node
+    /// handlers don't allocate per event.
+    scratch: Vec<Action>,
 }
 
 impl Default for Network {
@@ -140,10 +127,11 @@ impl Network {
             nodes: Vec::new(),
             ifaces: Vec::new(),
             links: Vec::new(),
-            calendar: BinaryHeap::new(),
+            calendar: TimingWheel::new(),
             now: 0,
             seq: 0,
             events_processed: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -228,23 +216,23 @@ impl Network {
         self.links.push(Link {
             dirs: [
                 Direction {
-                    rate_bps: cfg_ab.rate_bps,
+                    tx_cost: TxCost::new(cfg_ab.rate_bps),
                     delay_ns: cfg_ab.delay_ns,
                     qdisc: qdisc_a,
                     enabled: true,
-                    busy: false,
-                    retry_armed: false,
+                    busy_until: 0,
+                    poke_at: Nanos::MAX,
                     dst_node: b,
                     dst_iface: ib,
                     stats: LinkStats::default(),
                 },
                 Direction {
-                    rate_bps: cfg_ba.rate_bps,
+                    tx_cost: TxCost::new(cfg_ba.rate_bps),
                     delay_ns: cfg_ba.delay_ns,
                     qdisc: qdisc_b,
                     enabled: true,
-                    busy: false,
-                    retry_armed: false,
+                    busy_until: 0,
+                    poke_at: Nanos::MAX,
                     dst_node: a,
                     dst_iface: ia,
                     stats: LinkStats::default(),
@@ -255,10 +243,19 @@ impl Network {
     }
 
     /// Replaces the egress discipline on the `dir`-th direction of `link`
-    /// (0 = the direction away from the first-connected node). Any queued
-    /// packets in the old discipline are discarded.
+    /// (0 = the direction away from the first-connected node). Packets
+    /// queued in the old discipline are discarded, and counted into this
+    /// direction's [`LinkStats::dropped`] so mid-run swaps don't corrupt
+    /// loss accounting.
     pub fn set_qdisc(&mut self, link: LinkId, dir: u8, qdisc: Box<dyn QueueDiscipline>) {
-        self.links[link.0].dirs[dir as usize].qdisc = qdisc;
+        let d = &mut self.links[link.0].dirs[dir as usize];
+        d.stats.dropped += d.qdisc.len_packets() as u64;
+        d.qdisc = qdisc;
+    }
+
+    /// Number of links in the network.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
     }
 
     /// Transmit statistics of one direction of a link.
@@ -271,15 +268,16 @@ impl Network {
     /// counted in [`LinkStats::dropped`]; packets already in flight still
     /// arrive.
     pub fn set_link_enabled(&mut self, link: LinkId, enabled: bool) {
+        let now = self.now;
         let mut kick = [false; 2];
         for (i, d) in self.links[link.0].dirs.iter_mut().enumerate() {
             d.enabled = enabled;
-            kick[i] = enabled && !d.busy;
+            kick[i] = enabled && now >= d.busy_until;
         }
         // Kick idle transmitters in case traffic queued while down.
         for (i, k) in kick.into_iter().enumerate() {
             if k {
-                self.push(self.now, Event::TxIdle { link, dir: i as u8 });
+                self.arm_poke(link, i as u8, now);
             }
         }
     }
@@ -290,8 +288,8 @@ impl Network {
     }
 
     /// Injects a packet as if node `node` had sent it on `iface` now.
-    pub fn inject(&mut self, node: NodeId, iface: IfaceId, pkt: Packet) {
-        self.do_send(node, iface, pkt);
+    pub fn inject(&mut self, node: NodeId, iface: IfaceId, pkt: impl Into<Pkt>) {
+        self.do_send(node, iface, pkt.into());
     }
 
     /// Arms a timer for `node` to fire after `delay` (used to bootstrap
@@ -303,7 +301,7 @@ impl Network {
 
     fn push(&mut self, at: Nanos, ev: Event) {
         debug_assert!(at >= self.now, "event scheduled in the past");
-        self.calendar.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+        self.calendar.push(at, self.seq, ev);
         self.seq += 1;
     }
 
@@ -311,14 +309,14 @@ impl Network {
     /// exactly `t_end` are processed). Returns events processed.
     pub fn run_until(&mut self, t_end: Nanos) -> u64 {
         let start_events = self.events_processed;
-        while let Some(Reverse(sched)) = self.calendar.peek() {
-            if sched.at > t_end {
+        while let Some(at) = self.calendar.peek_at() {
+            if at > t_end {
                 break;
             }
-            let Reverse(sched) = self.calendar.pop().expect("peeked");
-            self.now = sched.at;
+            let (at, _seq, ev) = self.calendar.pop().expect("peeked");
+            self.now = at;
             self.events_processed += 1;
-            self.dispatch(sched.ev);
+            self.dispatch(ev);
         }
         if t_end != Nanos::MAX {
             // Advance the clock to the deadline so consecutive run_until
@@ -336,19 +334,20 @@ impl Network {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Arrival { node, iface, pkt } => {
-                let mut ctx = Ctx::new(self.now, node);
+                let mut ctx = Ctx::new(self.now, node, std::mem::take(&mut self.scratch));
                 self.nodes[node.0].on_packet(iface, pkt, &mut ctx);
                 self.apply_actions(node, ctx);
             }
             Event::Timer { node, token } => {
-                let mut ctx = Ctx::new(self.now, node);
+                let mut ctx = Ctx::new(self.now, node, std::mem::take(&mut self.scratch));
                 self.nodes[node.0].on_timer(token, &mut ctx);
                 self.apply_actions(node, ctx);
             }
             Event::TxIdle { link, dir } => {
                 let d = &mut self.links[link.0].dirs[dir as usize];
-                d.busy = false;
-                d.retry_armed = false;
+                if d.poke_at <= self.now {
+                    d.poke_at = Nanos::MAX;
+                }
                 self.try_start_tx(link, dir);
             }
             Event::DeferredSend { node, iface, pkt } => self.do_send(node, iface, pkt),
@@ -356,7 +355,8 @@ impl Network {
     }
 
     fn apply_actions(&mut self, node: NodeId, ctx: Ctx) {
-        for action in ctx.actions {
+        let mut actions = ctx.into_actions();
+        for action in actions.drain(..) {
             match action {
                 Action::Send { iface, pkt } => self.do_send(node, iface, pkt),
                 Action::SendLater { iface, pkt, delay } => {
@@ -369,9 +369,11 @@ impl Network {
                 }
             }
         }
+        // Return the drained buffer so the next dispatch reuses its capacity.
+        self.scratch = actions;
     }
 
-    fn do_send(&mut self, node: NodeId, iface: IfaceId, pkt: Packet) {
+    fn do_send(&mut self, node: NodeId, iface: IfaceId, pkt: Pkt) {
         let Some(&(link, dir)) = self.ifaces[node.0].get(iface.0) else {
             panic!("node {node:?} has no interface {iface:?}");
         };
@@ -388,40 +390,67 @@ impl Network {
                 return;
             }
         }
-        if !d.busy {
+        let busy_until = d.busy_until;
+        if self.now >= busy_until {
             self.try_start_tx(link, dir);
+        } else {
+            // Transmitter is mid-serialization: make sure it polls the
+            // queue again the moment it finishes.
+            self.arm_poke(link, dir, busy_until);
+        }
+    }
+
+    /// Schedules a [`Event::TxIdle`] poke at `at` unless an earlier (or
+    /// equal) one is already outstanding for this direction.
+    fn arm_poke(&mut self, link: LinkId, dir: u8, at: Nanos) {
+        let d = &mut self.links[link.0].dirs[dir as usize];
+        if at < d.poke_at {
+            d.poke_at = at;
+            self.push(at, Event::TxIdle { link, dir });
         }
     }
 
     fn try_start_tx(&mut self, link: LinkId, dir: u8) {
         let now = self.now;
         let d = &mut self.links[link.0].dirs[dir as usize];
-        if d.busy || !d.enabled {
+        if !d.enabled {
+            return;
+        }
+        if now < d.busy_until {
+            // A poke consumed mid-serialization must hand the baton on, or
+            // a backlogged queue would never be polled again.
+            if d.qdisc.len_packets() > 0 {
+                let at = d.busy_until;
+                self.arm_poke(link, dir, at);
+            }
             return;
         }
         match d.qdisc.dequeue(now) {
             Some(pkt) => {
                 let bytes = pkt.wire_len();
-                let tx = tx_time(bytes, d.rate_bps);
-                d.busy = true;
+                let tx = d.tx_cost.tx_time(bytes);
+                d.busy_until = now + tx;
                 d.stats.tx_packets += 1;
                 d.stats.tx_bytes += bytes as u64;
                 d.stats.busy_ns += tx;
                 let arrive = now + tx + d.delay_ns;
                 let dst_node = d.dst_node;
                 let dst_iface = d.dst_iface;
-                self.push(now + tx, Event::TxIdle { link, dir });
+                // Only a backlogged egress needs a completion event; an
+                // empty one restarts lazily from the next enqueue. The poke
+                // precedes the arrival push so same-instant events keep the
+                // historical order (transmitter poll, then receiver).
+                if d.qdisc.len_packets() > 0 {
+                    self.arm_poke(link, dir, now + tx);
+                }
                 self.push(arrive, Event::Arrival { node: dst_node, iface: dst_iface, pkt });
             }
             None => {
                 // Nothing eligible now. If the discipline holds deferred
                 // packets (shaped / bounded classes), poke it again later.
                 if let Some(t) = d.qdisc.next_ready(now) {
-                    if !d.retry_armed {
-                        d.retry_armed = true;
-                        let at = t.max(now + 1);
-                        self.push(at, Event::TxIdle { link, dir });
-                    }
+                    let at = t.max(now + 1);
+                    self.arm_poke(link, dir, at);
                 }
             }
         }
@@ -433,7 +462,7 @@ mod tests {
     use super::*;
     use crate::node::BlackHole;
     use netsim_net::addr::ip;
-    use netsim_net::Dscp;
+    use netsim_net::{Dscp, Packet};
     use netsim_qos::{CbqScheduler, MSEC, SEC};
 
     fn pkt(payload: usize) -> Packet {
@@ -443,7 +472,7 @@ mod tests {
     /// A node that echoes every packet back out the interface it came in on.
     struct Echo;
     impl Node for Echo {
-        fn on_packet(&mut self, iface: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+        fn on_packet(&mut self, iface: IfaceId, pkt: Pkt, ctx: &mut Ctx) {
             ctx.send(iface, pkt);
         }
         fn as_any(&self) -> &dyn std::any::Any {
@@ -460,7 +489,7 @@ mod tests {
         arrivals: Vec<Nanos>,
     }
     impl Node for Recorder {
-        fn on_packet(&mut self, _iface: IfaceId, _pkt: Packet, ctx: &mut Ctx) {
+        fn on_packet(&mut self, _iface: IfaceId, _pkt: Pkt, ctx: &mut Ctx) {
             self.arrivals.push(ctx.now());
         }
         fn as_any(&self) -> &dyn std::any::Any {
@@ -541,7 +570,7 @@ mod tests {
             fired: Vec<(Nanos, u64)>,
         }
         impl Node for TimerNode {
-            fn on_packet(&mut self, _: IfaceId, _: Packet, _: &mut Ctx) {}
+            fn on_packet(&mut self, _: IfaceId, _: Pkt, _: &mut Ctx) {}
             fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
                 self.fired.push((ctx.now(), token));
                 if token < 3 {
@@ -645,6 +674,27 @@ mod tests {
         net.run_until(MSEC); // serialized, now propagating
         net.set_link_enabled(l, false);
         net.run_to_quiescence();
+        assert_eq!(net.node_ref::<Recorder>(b).arrivals.len(), 1);
+    }
+
+    #[test]
+    fn set_qdisc_counts_stranded_packets_as_dropped() {
+        // 1 Mb/s link: the first packet occupies the transmitter while the
+        // rest sit in the FIFO; swapping the qdisc mid-run must account the
+        // stranded ones as drops instead of losing them silently.
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(BlackHole::default()));
+        let b = net.add_node(Box::new(Recorder::default()));
+        let (l, ia, _) = net.connect(a, b, LinkConfig::new(1_000_000, 0));
+        for _ in 0..5 {
+            net.inject(a, ia, pkt(100));
+        }
+        // One packet is serializing; four are queued.
+        net.set_qdisc(l, 0, Box::new(FifoQueue::new(1 << 20)));
+        net.run_to_quiescence();
+        let st = net.link_stats(l, 0);
+        assert_eq!(st.dropped, 4, "stranded packets must be counted");
+        assert_eq!(st.tx_packets, 1);
         assert_eq!(net.node_ref::<Recorder>(b).arrivals.len(), 1);
     }
 

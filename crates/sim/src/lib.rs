@@ -41,13 +41,16 @@
 
 #![warn(missing_docs)]
 
+mod calendar;
 pub mod engine;
+pub mod fxmap;
 pub mod node;
 pub mod stats;
 pub mod tcp;
 pub mod traffic;
 
 pub use engine::{LinkConfig, LinkId, LinkStats, Network};
+pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use netsim_qos::{Nanos, MSEC, SEC};
 pub use node::{Ctx, IfaceId, Node, NodeId};
 pub use stats::{FlowStats, Histogram};

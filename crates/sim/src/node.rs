@@ -3,7 +3,7 @@
 
 use std::any::Any;
 
-use netsim_net::Packet;
+use netsim_net::Pkt;
 use netsim_qos::Nanos;
 
 /// Identifies a node within one [`crate::Network`].
@@ -25,14 +25,21 @@ pub struct Ctx {
 }
 
 pub(crate) enum Action {
-    Send { iface: IfaceId, pkt: Packet },
-    SendLater { iface: IfaceId, pkt: Packet, delay: Nanos },
+    Send { iface: IfaceId, pkt: Pkt },
+    SendLater { iface: IfaceId, pkt: Pkt, delay: Nanos },
     Timer { delay: Nanos, token: u64 },
 }
 
 impl Ctx {
-    pub(crate) fn new(now: Nanos, node: NodeId) -> Self {
-        Ctx { now, node, actions: Vec::new() }
+    /// `actions` is a scratch buffer owned by the network and recycled
+    /// across dispatches, so handlers don't cost an allocation per event.
+    pub(crate) fn new(now: Nanos, node: NodeId, actions: Vec<Action>) -> Self {
+        debug_assert!(actions.is_empty(), "scratch buffer handed over dirty");
+        Ctx { now, node, actions }
+    }
+
+    pub(crate) fn into_actions(self) -> Vec<Action> {
+        self.actions
     }
 
     /// Current simulation time in nanoseconds.
@@ -48,16 +55,18 @@ impl Ctx {
     }
 
     /// Transmits `pkt` out of local interface `iface`. The packet enters
-    /// that egress's queueing discipline immediately.
-    pub fn send(&mut self, iface: IfaceId, pkt: Packet) {
-        self.actions.push(Action::Send { iface, pkt });
+    /// that egress's queueing discipline immediately. Accepts either an
+    /// owned packet (boxed here, at the edge) or an already-boxed [`Pkt`]
+    /// being forwarded (no new allocation).
+    pub fn send(&mut self, iface: IfaceId, pkt: impl Into<Pkt>) {
+        self.actions.push(Action::Send { iface, pkt: pkt.into() });
     }
 
     /// Like [`Ctx::send`], but the packet reaches the egress queue only
     /// after `delay` ns — models local processing time (e.g. IPsec crypto)
     /// spent before transmission.
-    pub fn send_after(&mut self, delay: Nanos, iface: IfaceId, pkt: Packet) {
-        self.actions.push(Action::SendLater { iface, pkt, delay });
+    pub fn send_after(&mut self, delay: Nanos, iface: IfaceId, pkt: impl Into<Pkt>) {
+        self.actions.push(Action::SendLater { iface, pkt: pkt.into(), delay });
     }
 
     /// Arms a one-shot timer that fires `on_timer(token)` after `delay`.
@@ -73,8 +82,9 @@ impl Ctx {
 /// `as_any`/`as_any_mut` allow experiment code to downcast a node back to
 /// its concrete type to read statistics after (or during) a run.
 pub trait Node: Any {
-    /// A packet arrived on local interface `iface`.
-    fn on_packet(&mut self, iface: IfaceId, pkt: Packet, ctx: &mut Ctx);
+    /// A packet arrived on local interface `iface`. Packets travel boxed
+    /// (see [`Pkt`]) so forwarding a packet on is a pointer move.
+    fn on_packet(&mut self, iface: IfaceId, pkt: Pkt, ctx: &mut Ctx);
 
     /// A timer armed via [`Ctx::schedule`] fired.
     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
@@ -94,7 +104,7 @@ pub struct BlackHole {
 }
 
 impl Node for BlackHole {
-    fn on_packet(&mut self, _iface: IfaceId, _pkt: Packet, _ctx: &mut Ctx) {
+    fn on_packet(&mut self, _iface: IfaceId, _pkt: Pkt, _ctx: &mut Ctx) {
         self.absorbed += 1;
     }
 

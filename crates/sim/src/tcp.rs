@@ -15,7 +15,7 @@ use std::any::Any;
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 
-use netsim_net::{Packet, TcpHeader};
+use netsim_net::{Packet, Pkt, TcpHeader};
 use netsim_qos::Nanos;
 
 use crate::node::{Ctx, IfaceId, Node};
@@ -168,7 +168,7 @@ impl TcpSource {
 }
 
 impl Node for TcpSource {
-    fn on_packet(&mut self, _iface: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, _iface: IfaceId, pkt: Pkt, ctx: &mut Ctx) {
         // An ACK: `meta.seq` (and the header's ack field) carry the
         // cumulative next-expected sequence; created_ns echoes the data
         // packet's send time for RTT sampling.
@@ -277,7 +277,7 @@ impl TcpSink {
 }
 
 impl Node for TcpSink {
-    fn on_packet(&mut self, iface: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, iface: IfaceId, pkt: Pkt, ctx: &mut Ctx) {
         self.segments_rx += 1;
         let flow = pkt.meta.flow;
         let seq = pkt.meta.seq;
@@ -422,7 +422,7 @@ mod tests {
             // Simple forwarder toward iface 0.
             struct Fwd;
             impl Node for Fwd {
-                fn on_packet(&mut self, i: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+                fn on_packet(&mut self, i: IfaceId, pkt: Pkt, ctx: &mut Ctx) {
                     // Data (from sources, ifaces ≥1) goes out iface 0; ACKs
                     // (from the sink on iface 0) go back by flow id.
                     if i.0 == 0 {

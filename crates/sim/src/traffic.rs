@@ -5,14 +5,13 @@
 //! time) that the [`Sink`] turns into latency/jitter/loss statistics.
 //! Randomized sources own a seeded RNG, keeping runs reproducible.
 
-use std::any::Any;
-use std::collections::HashMap;
-
-use netsim_net::{Dscp, Ip, Packet};
+use netsim_net::{Dscp, Ip, Packet, Pkt};
 use netsim_qos::Nanos;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use std::any::Any;
 
+use crate::fxmap::FxHashMap;
 use crate::node::{Ctx, IfaceId, Node};
 use crate::stats::FlowStats;
 
@@ -138,7 +137,7 @@ impl CbrSource {
 }
 
 impl Node for CbrSource {
-    fn on_packet(&mut self, _iface: IfaceId, _pkt: Packet, _ctx: &mut Ctx) {}
+    fn on_packet(&mut self, _iface: IfaceId, _pkt: Pkt, _ctx: &mut Ctx) {}
 
     fn on_timer(&mut self, _token: u64, ctx: &mut Ctx) {
         if let Some(0) = self.remaining {
@@ -197,7 +196,7 @@ impl PoissonSource {
 }
 
 impl Node for PoissonSource {
-    fn on_packet(&mut self, _iface: IfaceId, _pkt: Packet, _ctx: &mut Ctx) {}
+    fn on_packet(&mut self, _iface: IfaceId, _pkt: Pkt, _ctx: &mut Ctx) {}
 
     fn on_timer(&mut self, _token: u64, ctx: &mut Ctx) {
         if let Some(t) = self.until {
@@ -283,7 +282,7 @@ impl OnOffSource {
 }
 
 impl Node for OnOffSource {
-    fn on_packet(&mut self, _iface: IfaceId, _pkt: Packet, _ctx: &mut Ctx) {}
+    fn on_packet(&mut self, _iface: IfaceId, _pkt: Pkt, _ctx: &mut Ctx) {}
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
         let (epoch, kind) = (token >> 1, token & 1);
@@ -336,7 +335,7 @@ impl Node for OnOffSource {
 /// statistics keyed by `meta.flow`.
 #[derive(Default)]
 pub struct Sink {
-    flows: HashMap<u64, FlowStats>,
+    flows: FxHashMap<u64, FlowStats>,
     /// Total packets absorbed (all flows).
     pub total_packets: u64,
     /// Total wire bytes absorbed.
@@ -361,7 +360,7 @@ impl Sink {
 }
 
 impl Node for Sink {
-    fn on_packet(&mut self, _iface: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+    fn on_packet(&mut self, _iface: IfaceId, pkt: Pkt, ctx: &mut Ctx) {
         let bytes = pkt.wire_len();
         self.total_packets += 1;
         self.total_bytes += bytes as u64;

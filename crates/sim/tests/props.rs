@@ -2,7 +2,7 @@
 //! that must hold for any traffic pattern and any link configuration.
 
 use netsim_net::addr::ip;
-use netsim_net::{Dscp, Packet};
+use netsim_net::{Dscp, Packet, Pkt};
 use netsim_qos::SEC;
 use netsim_sim::node::BlackHole;
 use netsim_sim::{CbrSource, Ctx, IfaceId, LinkConfig, LinkId, Network, Node, Sink, SourceConfig};
@@ -101,7 +101,7 @@ proptest! {
             out: Option<IfaceId>,
         }
         impl Node for Relay {
-            fn on_packet(&mut self, _i: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+            fn on_packet(&mut self, _i: IfaceId, pkt: Pkt, ctx: &mut Ctx) {
                 if let Some(out) = self.out {
                     ctx.send_after(self.delay, out, pkt);
                 }
@@ -160,7 +160,7 @@ proptest! {
         /// Forwards everything out interface 0 (the bottleneck).
         struct ForwardAll;
         impl Node for ForwardAll {
-            fn on_packet(&mut self, _i: IfaceId, pkt: Packet, ctx: &mut Ctx) {
+            fn on_packet(&mut self, _i: IfaceId, pkt: Pkt, ctx: &mut Ctx) {
                 ctx.send(IfaceId(0), pkt);
             }
             fn as_any(&self) -> &dyn std::any::Any {
