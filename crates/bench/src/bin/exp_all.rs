@@ -19,6 +19,7 @@ fn main() {
         ("Q4", e::interprovider::run),
         ("M1", e::membership::run),
         ("R1", e::resilience::run),
+        ("R2", e::failover::run),
         ("A1", e::aqm::run),
         ("S1", e::intserv::run),
     ];

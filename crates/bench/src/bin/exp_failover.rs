@@ -1,0 +1,4 @@
+//! R2: fast-reroute link protection vs global reconvergence (paper §3/§5).
+fn main() {
+    print!("{}", mplsvpn_bench::experiments::failover::run(false));
+}

@@ -3,6 +3,7 @@
 //! the tests assert the *shape* each experiment must reproduce.
 
 pub mod aqm;
+pub mod failover;
 pub mod forwarding;
 pub mod interprovider;
 pub mod intserv;

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod frr;
 pub mod interprovider;
 pub mod ipsec_vpn;
 pub mod membership;
@@ -43,6 +44,7 @@ pub mod sla;
 pub mod trace;
 mod verify;
 
+pub use frr::{FailoverMode, FaultOutcome, ReconvergeSummary};
 pub use netsim_verify::{codes, Diagnostic, Severity, VerifyReport};
 pub use network::{BackboneBuilder, CoreQos, ProviderNetwork, SiteId, VpnId};
 pub use router::{CeRouter, CoreRouter, PeRouter};

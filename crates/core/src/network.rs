@@ -155,6 +155,7 @@ pub struct BackboneBuilder {
     distribution: DistributionMode,
     trace: Option<TraceLog>,
     seed: u64,
+    detect_ns: Nanos,
 }
 
 impl BackboneBuilder {
@@ -174,7 +175,16 @@ impl BackboneBuilder {
             distribution: DistributionMode::RouteReflector,
             trace: None,
             seed: 1,
+            detect_ns: 50_000_000, // 50 ms: ~3 missed BFD hellos at slow timers
         }
+    }
+
+    /// Sets the link-failure detection delay (BFD hold time): how long
+    /// after a cut the adjacent routers learn the interface is down and
+    /// fast reroute can switch over.
+    pub fn detection(mut self, ns: Nanos) -> Self {
+        self.detect_ns = ns;
+        self
     }
 
     /// Sets the backbone propagation delay per link.
@@ -277,6 +287,7 @@ impl BackboneBuilder {
             trace: self.trace,
             php: self.php,
             failed_links: std::collections::HashSet::new(),
+            detect_ns: self.detect_ns,
             core_qos: self.core_qos,
             extranets: Vec::new(),
             ef_contracts: Vec::new(),
@@ -307,6 +318,7 @@ pub struct ProviderNetwork {
     trace: Option<TraceLog>,
     php: bool,
     failed_links: std::collections::HashSet<usize>,
+    pub(crate) detect_ns: Nanos,
     pub(crate) core_qos: CoreQos,
     pub(crate) extranets: Vec<(VpnId, VpnId)>,
     pub(crate) ef_contracts: Vec<netsim_verify::EfContract>,
@@ -673,7 +685,7 @@ impl ProviderNetwork {
         }
     }
 
-    fn with_lfib(&mut self, topo_node: usize, f: impl FnOnce(&mut netsim_mpls::Lfib)) {
+    pub(crate) fn with_lfib(&mut self, topo_node: usize, f: impl FnOnce(&mut netsim_mpls::Lfib)) {
         let id = self.node_ids[topo_node];
         if self.pes.contains(&topo_node) {
             f(&mut self.net.node_mut::<PeRouter>(id).lfib);
@@ -716,20 +728,73 @@ impl ProviderNetwork {
     }
 
     /// Takes a backbone link down (fiber cut): the data plane starts
-    /// dropping immediately; routing does **not** change until
+    /// dropping immediately — anything queued on the link is flushed into
+    /// [`netsim_sim::LinkStats::dropped`] — and BFD-style detection timers
+    /// are armed on both adjacent routers. After the detection delay
+    /// (see [`BackboneBuilder::detection`]) those routers mark the
+    /// interface down, which activates any fast-reroute bypass installed
+    /// for it; routing otherwise does **not** change until
     /// [`ProviderNetwork::reconverge`] runs (that gap is the detection +
     /// convergence outage experiment R1 measures).
+    ///
+    /// Idempotent: failing an already-failed link is a no-op, so drops
+    /// are never double-counted and timers never re-armed.
     pub fn fail_link(&mut self, topo_link: usize) {
         assert!(topo_link < self.topo.link_count(), "unknown backbone link {topo_link}");
-        self.failed_links.insert(topo_link);
+        if !self.failed_links.insert(topo_link) {
+            return;
+        }
         self.net.set_link_enabled(LinkId(topo_link), false);
+        self.arm_detection(topo_link, true);
     }
 
-    /// Brings a previously failed link back (call [`ProviderNetwork::reconverge`]
-    /// afterwards to re-optimize routing onto it).
+    /// Brings a previously failed link back. The adjacent routers notice
+    /// after the same detection delay (BFD session re-establishment) and
+    /// stop using any bypass; call [`ProviderNetwork::reconverge`]
+    /// afterwards to re-optimize global routing onto it. Idempotent.
     pub fn repair_link(&mut self, topo_link: usize) {
-        self.failed_links.remove(&topo_link);
+        if !self.failed_links.remove(&topo_link) {
+            return;
+        }
         self.net.set_link_enabled(LinkId(topo_link), true);
+        self.arm_detection(topo_link, false);
+    }
+
+    /// Fails every backbone link incident to `topo_node` — a node (power
+    /// or linecard) failure, modelled as the simultaneous loss of all its
+    /// adjacencies. Already-failed links are skipped.
+    pub fn fail_node(&mut self, topo_node: usize) {
+        assert!(topo_node < self.topo.node_count(), "unknown backbone node {topo_node}");
+        let incident: Vec<usize> = (0..self.topo.link_count())
+            .filter(|&l| {
+                let (a, b, _) = self.topo.link(l);
+                a == topo_node || b == topo_node
+            })
+            .collect();
+        for l in incident {
+            self.fail_link(l);
+        }
+    }
+
+    /// Links currently administratively failed.
+    pub fn failed_links(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.failed_links.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Arms the interface up/down notification timers on both ends of a
+    /// link, `detect_ns` from now.
+    fn arm_detection(&mut self, topo_link: usize, down: bool) {
+        let (u, v, _) = self.topo.link(topo_link);
+        for (near, far) in [(u, v), (v, u)] {
+            let iface = self.topo.iface_toward(near, far);
+            self.net.arm_timer(
+                self.node_ids[near],
+                self.detect_ns,
+                crate::router::iface_timer_token(iface, down),
+            );
+        }
     }
 
     /// Re-runs IGP and LDP excluding failed links and installs the new

@@ -20,6 +20,22 @@ use netsim_sim::{Ctx, FxHashMap, IfaceId, Node};
 
 use crate::trace::TraceLog;
 
+/// Timer-token namespace for BFD-style interface state changes delivered
+/// to routers: the high bit marks the namespace, bit 0 carries down/up,
+/// and the bits between carry the interface index. Routers own no other
+/// timers, so the namespace guard is future-proofing, not disambiguation.
+pub const fn iface_timer_token(iface: usize, down: bool) -> u64 {
+    (1u64 << 63) | ((iface as u64) << 1) | down as u64
+}
+
+/// Decodes a token produced by [`iface_timer_token`].
+fn decode_iface_token(token: u64) -> Option<(usize, bool)> {
+    if token & (1u64 << 63) == 0 {
+        return None;
+    }
+    Some((((token & !(1u64 << 63)) >> 1) as usize, token & 1 == 1))
+}
+
 /// Forwarding counters shared by all router roles.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RouterCounters {
@@ -109,6 +125,12 @@ impl Node for CoreRouter {
         let depth_before = pkt.label_depth();
         self.counters.label_ops += 1;
         match self.lfib.forward(&mut pkt) {
+            LfibVerdict::Forward { out_iface } if out_iface == LOCAL_IFACE => {
+                // A tunnel terminated at this LSR (non-PHP egress, e.g. a
+                // bypass LSP merging here): keep forwarding on the newly
+                // exposed label.
+                self.on_packet(IfaceId(LOCAL_IFACE), pkt, ctx);
+            }
             LfibVerdict::Forward { out_iface } => {
                 self.counters.forwarded += 1;
                 if let Some(t) = &self.trace {
@@ -127,6 +149,14 @@ impl Node for CoreRouter {
             LfibVerdict::PoppedToLocal => self.counters.delivered_local += 1,
             LfibVerdict::TtlExpired => self.counters.dropped_ttl += 1,
             LfibVerdict::NoEntry | LfibVerdict::NotLabeled => self.counters.dropped_no_route += 1,
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, _ctx: &mut Ctx) {
+        // BFD-style link-state notification: flip the interface's
+        // protection state at detection time, not at failure time.
+        if let Some((iface, down)) = decode_iface_token(token) {
+            self.lfib.set_iface_down(iface, down);
         }
     }
 
@@ -380,7 +410,11 @@ impl PeRouter {
                         &pkt,
                     );
                 }
-                ctx.send(IfaceId(tunnel.out_iface), pkt);
+                // Fast reroute: if the primary core interface is held down
+                // by link-failure detection and a bypass is installed, the
+                // LFIB pushes the bypass label(s) and redirects locally.
+                let out_iface = self.lfib.apply_protection(&mut pkt, tunnel.out_iface);
+                ctx.send(IfaceId(out_iface), pkt);
             }
         }
     }
@@ -442,9 +476,10 @@ impl PeRouter {
                     ctx.send(IfaceId(out_iface), pkt);
                 }
                 LfibVerdict::Forward { .. } | LfibVerdict::PoppedToLocal => {
-                    // Tunnel terminated here (non-PHP): what remains is the
-                    // VPN label.
-                    self.dispatch_vpn_label(pkt, ctx);
+                    // Tunnel terminated here (non-PHP): what remains is
+                    // either another tunnel label (a bypass LSP merging at
+                    // this PE) or the VPN label — re-run the split.
+                    self.handle_core(pkt, ctx);
                 }
                 LfibVerdict::TtlExpired => self.counters.dropped_ttl += 1,
                 _ => self.counters.dropped_no_route += 1,
@@ -462,6 +497,14 @@ impl Node for PeRouter {
             Some(PeIfaceRole::Customer { vrf }) => self.handle_customer(iface.0, vrf, pkt, ctx),
             Some(PeIfaceRole::Core) => self.handle_core(pkt, ctx),
             None => self.counters.dropped_no_route += 1,
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, _ctx: &mut Ctx) {
+        // BFD-style link-state notification: flip the interface's
+        // protection state at detection time, not at failure time.
+        if let Some((iface, down)) = decode_iface_token(token) {
+            self.lfib.set_iface_down(iface, down);
         }
     }
 

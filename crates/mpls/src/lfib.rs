@@ -71,6 +71,17 @@ pub enum LfibVerdict {
 pub struct Lfib {
     ilm: Vec<Option<Nhlfe>>,
     entries: usize,
+    /// Fast-reroute state: `protection[out_iface]` is the bypass tunnel
+    /// protecting that egress. The bypass terminates at the merge point
+    /// (the protected link's far end), which expects exactly the label
+    /// this LSR would have sent — so switchover is "apply the primary
+    /// operation, then push the bypass labels and redirect".
+    protection: Vec<Option<FtnEntry>>,
+    /// Interfaces the local failure detector has declared down.
+    down: Vec<bool>,
+    /// Whether any interface is down — keeps the hot path to one branch
+    /// while the network is healthy.
+    any_down: bool,
 }
 
 impl Lfib {
@@ -121,9 +132,88 @@ impl Lfib {
         self.ilm.iter().enumerate().filter_map(|(label, e)| e.as_ref().map(|n| (label as u32, n)))
     }
 
+    /// Installs a fast-reroute bypass for egress `out_iface`: while the
+    /// interface is marked down, traffic headed there is redirected into
+    /// the bypass tunnel instead of being dropped on the dead link.
+    pub fn install_protection(&mut self, out_iface: usize, bypass: FtnEntry) {
+        if out_iface >= self.protection.len() {
+            self.protection.resize(out_iface + 1, None);
+        }
+        self.protection[out_iface] = Some(bypass);
+    }
+
+    /// Removes the bypass protecting `out_iface`, returning it if present.
+    pub fn remove_protection(&mut self, out_iface: usize) -> Option<FtnEntry> {
+        self.protection.get_mut(out_iface)?.take()
+    }
+
+    /// The bypass protecting `out_iface`, if any.
+    pub fn protection(&self, out_iface: usize) -> Option<&FtnEntry> {
+        self.protection.get(out_iface)?.as_ref()
+    }
+
+    /// Interfaces that currently have a bypass installed.
+    pub fn protected_ifaces(&self) -> impl Iterator<Item = usize> + '_ {
+        self.protection.iter().enumerate().filter_map(|(i, p)| p.as_ref().map(|_| i))
+    }
+
+    /// Records the local failure detector's view of an interface. Marking
+    /// an unprotected interface down is allowed (traffic keeps flowing to
+    /// the dead link and drops there, as without FRR).
+    pub fn set_iface_down(&mut self, iface: usize, down: bool) {
+        if iface >= self.down.len() {
+            if !down {
+                return;
+            }
+            self.down.resize(iface + 1, false);
+        }
+        self.down[iface] = down;
+        self.any_down = self.down.iter().any(|&d| d);
+    }
+
+    /// Whether the failure detector considers `iface` down.
+    pub fn iface_down(&self, iface: usize) -> bool {
+        self.down.get(iface).copied().unwrap_or(false)
+    }
+
+    /// Fast-reroute switchover: if `out_iface` is down and protected,
+    /// pushes the bypass labels over whatever the packet now carries and
+    /// returns the bypass egress; otherwise returns `out_iface` unchanged.
+    /// Single-level: a bypass is never itself rerouted.
+    #[inline]
+    pub fn apply_protection(&self, pkt: &mut Packet, out_iface: usize) -> usize {
+        if !self.any_down || !self.iface_down(out_iface) {
+            return out_iface;
+        }
+        let Some(bypass) = self.protection.get(out_iface).and_then(Option::as_ref) else {
+            return out_iface;
+        };
+        let (exp, ttl) = match pkt.top_label() {
+            Some(l) => (l.exp, l.ttl),
+            // PHP already stripped the stack: classify the bypass label
+            // from the IP precedence bits (the default DSCP→EXP fold).
+            None => (pkt.dscp().map_or(0, |d| d.value() >> 3), 64),
+        };
+        for &l in &bypass.push {
+            pkt.push_outer(Layer::Mpls(MplsLabel { label: l, exp, ttl }));
+        }
+        bypass.out_iface
+    }
+
     /// Applies this LSR's forwarding to a labeled packet in place:
-    /// TTL check + ILM lookup + label operation.
+    /// TTL check + ILM lookup + label operation, then fast-reroute
+    /// switchover when the chosen egress is down and protected.
     pub fn forward(&self, pkt: &mut Packet) -> LfibVerdict {
+        match self.forward_primary(pkt) {
+            LfibVerdict::Forward { out_iface } if self.any_down => {
+                LfibVerdict::Forward { out_iface: self.apply_protection(pkt, out_iface) }
+            }
+            v => v,
+        }
+    }
+
+    /// The primary forwarding decision, before protection.
+    fn forward_primary(&self, pkt: &mut Packet) -> LfibVerdict {
         let Some(top) = pkt.top_label() else {
             return LfibVerdict::NotLabeled;
         };
@@ -247,6 +337,79 @@ mod tests {
         assert_eq!(lfib.forward(&mut q), LfibVerdict::NoEntry);
         let mut r = Packet::udp(ip("1.1.1.1"), ip("2.2.2.2"), 1, 2, Dscp::BE, 0);
         assert_eq!(lfib.forward(&mut r), LfibVerdict::NotLabeled);
+    }
+
+    #[test]
+    fn protection_reroutes_only_while_iface_is_down() {
+        let mut lfib = Lfib::new();
+        lfib.install(100, Nhlfe { op: LabelOp::Swap(200), out_iface: 3 });
+        lfib.install_protection(3, FtnEntry { push: vec![900], out_iface: 7 });
+
+        // Healthy: primary egress, single label.
+        let mut p = labeled(100, 5, 64);
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::Forward { out_iface: 3 });
+        assert_eq!(p.label_depth(), 1);
+
+        // Down: primary swap still applied, bypass label pushed on top
+        // (the merge point expects label 200), redirected out iface 7.
+        lfib.set_iface_down(3, true);
+        assert!(lfib.iface_down(3));
+        let mut p = labeled(100, 5, 64);
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::Forward { out_iface: 7 });
+        assert_eq!(p.label_depth(), 2);
+        let top = p.top_label().unwrap();
+        assert_eq!((top.label, top.exp), (900, 5), "bypass inherits the packet's EXP");
+        assert_eq!(p.layers()[1], Layer::Mpls(MplsLabel::new(200, 5, 63)));
+
+        // Repair detected: back on the primary.
+        lfib.set_iface_down(3, false);
+        let mut p = labeled(100, 5, 64);
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::Forward { out_iface: 3 });
+        assert_eq!(p.label_depth(), 1);
+    }
+
+    #[test]
+    fn down_iface_without_protection_forwards_unchanged() {
+        let mut lfib = Lfib::new();
+        lfib.install(100, Nhlfe { op: LabelOp::Swap(200), out_iface: 3 });
+        lfib.set_iface_down(3, true);
+        let mut p = labeled(100, 0, 64);
+        // No bypass installed: the packet heads for the dead link and will
+        // drop there, exactly as before FRR existed.
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::Forward { out_iface: 3 });
+        assert_eq!(p.label_depth(), 1);
+    }
+
+    #[test]
+    fn php_pop_onto_bypass_classifies_from_precedence() {
+        // Penultimate hop: the pop strips the last label; protection must
+        // still wrap the bare IP packet so the merge point receives what
+        // it expected.
+        let mut lfib = Lfib::new();
+        lfib.install(77, Nhlfe { op: LabelOp::Pop, out_iface: 2 });
+        lfib.install_protection(2, FtnEntry { push: vec![901], out_iface: 5 });
+        lfib.set_iface_down(2, true);
+        let mut p = labeled(77, 5, 10);
+        p.outer_ipv4_mut().unwrap().dscp = Dscp::EF;
+        assert_eq!(lfib.forward(&mut p), LfibVerdict::Forward { out_iface: 5 });
+        let top = p.top_label().unwrap();
+        assert_eq!(top.label, 901);
+        assert_eq!(top.exp, 5, "EF precedence bits classify the bypass label");
+    }
+
+    #[test]
+    fn protection_table_management() {
+        let mut lfib = Lfib::new();
+        lfib.install_protection(4, FtnEntry { push: vec![1], out_iface: 0 });
+        lfib.install_protection(9, FtnEntry { push: vec![2], out_iface: 1 });
+        assert_eq!(lfib.protected_ifaces().collect::<Vec<_>>(), vec![4, 9]);
+        assert!(lfib.protection(4).is_some());
+        assert!(lfib.remove_protection(4).is_some());
+        assert!(lfib.remove_protection(4).is_none());
+        assert_eq!(lfib.protected_ifaces().collect::<Vec<_>>(), vec![9]);
+        // Marking an out-of-range iface up is a no-op, not a panic.
+        lfib.set_iface_down(1000, false);
+        assert!(!lfib.iface_down(1000));
     }
 
     #[test]

@@ -219,6 +219,19 @@ impl QueueDiscipline for HierCbq {
         }
         earliest
     }
+
+    fn purge(&mut self) -> u64 {
+        let mut n = 0;
+        for &leaf in &self.leaves {
+            let node = &mut self.nodes[leaf];
+            if let Some(q) = node.q.as_mut() {
+                n += q.len() as u64;
+                q.clear();
+            }
+            node.bytes = 0;
+        }
+        n
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,14 @@ pub trait QueueDiscipline: Send {
             Some(now)
         }
     }
+
+    /// Discards everything buffered, bypassing any scheduling or shaping
+    /// gates, and returns the number of packets removed. The caller owns
+    /// the loss accounting — e.g. a failing link flushes its egress buffer
+    /// into `LinkStats.dropped`. Per-discipline drop counters (tail/early
+    /// drops) are *not* incremented: a purge is a link event, not a
+    /// buffer-management decision.
+    fn purge(&mut self) -> u64;
 }
 
 /// Maps a packet to a class index for classful disciplines (priority bands,
@@ -139,6 +147,13 @@ impl QueueDiscipline for FifoQueue {
 
     fn peek_len(&self) -> Option<usize> {
         self.q.front().map(|p| p.wire_len())
+    }
+
+    fn purge(&mut self) -> u64 {
+        let n = self.q.len() as u64;
+        self.q.clear();
+        self.bytes = 0;
+        n
     }
 }
 

@@ -229,6 +229,13 @@ impl QueueDiscipline for RedQueue {
     fn peek_len(&self) -> Option<usize> {
         self.q.front().map(|p| p.wire_len())
     }
+
+    fn purge(&mut self) -> u64 {
+        let n = self.q.len() as u64;
+        self.q.clear();
+        self.bytes = 0;
+        n
+    }
 }
 
 /// Weighted RED: one physical FIFO, several drop profiles selected per
@@ -330,6 +337,13 @@ impl QueueDiscipline for WredQueue {
 
     fn peek_len(&self) -> Option<usize> {
         self.q.front().map(|p| p.wire_len())
+    }
+
+    fn purge(&mut self) -> u64 {
+        let n = self.q.len() as u64;
+        self.q.clear();
+        self.bytes = 0;
+        n
     }
 }
 

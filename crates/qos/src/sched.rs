@@ -74,6 +74,10 @@ impl QueueDiscipline for PriorityScheduler {
     fn next_ready(&self, now: Nanos) -> Option<Nanos> {
         self.bands.iter().filter_map(|b| b.next_ready(now)).min()
     }
+
+    fn purge(&mut self) -> u64 {
+        self.bands.iter_mut().map(|b| b.purge()).sum()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -178,6 +182,18 @@ impl QueueDiscipline for WfqScheduler {
 
     fn len_bytes(&self) -> usize {
         self.classes.iter().map(|c| c.bytes).sum()
+    }
+
+    fn purge(&mut self) -> u64 {
+        let mut n = 0;
+        for c in &mut self.classes {
+            n += c.q.len() as u64;
+            c.q.clear();
+            c.bytes = 0;
+            c.last_finish = 0;
+        }
+        self.vtime = 0;
+        n
     }
 }
 
@@ -291,6 +307,19 @@ impl QueueDiscipline for DrrScheduler {
 
     fn len_bytes(&self) -> usize {
         self.classes.iter().map(|c| c.bytes).sum()
+    }
+
+    fn purge(&mut self) -> u64 {
+        let mut n = 0;
+        for c in &mut self.classes {
+            n += c.q.len() as u64;
+            c.q.clear();
+            c.bytes = 0;
+            c.active = false;
+            c.deficit = 0;
+        }
+        self.active.clear();
+        n
     }
 }
 
@@ -439,6 +468,16 @@ impl QueueDiscipline for CbqScheduler {
             }
         }
         earliest
+    }
+
+    fn purge(&mut self) -> u64 {
+        let mut n = 0;
+        for c in &mut self.classes {
+            n += c.q.len() as u64;
+            c.q.clear();
+            c.bytes = 0;
+        }
+        n
     }
 }
 

@@ -75,6 +75,10 @@ impl QueueDiscipline for ShapedQueue {
         let wait = (deficit_bits * SEC as u128 / self.rate_bps as u128) as Nanos;
         Some(now + wait.max(1))
     }
+
+    fn purge(&mut self) -> u64 {
+        self.child.purge()
+    }
 }
 
 #[cfg(test)]

@@ -97,6 +97,9 @@ enum Event {
     Timer { node: NodeId, token: u64 },
     /// A deferred send (see [`Ctx::send_after`]) reaches its egress queue.
     DeferredSend { node: NodeId, iface: IfaceId, pkt: Pkt },
+    /// A scheduled administrative link state change (fault injection: cut
+    /// or repair lands exactly at its calendar time).
+    LinkAdmin { link: LinkId, enabled: bool },
 }
 
 /// The simulated network: nodes, links, and the event calendar.
@@ -268,11 +271,21 @@ impl Network {
     /// counted in [`LinkStats::dropped`]; packets already in flight still
     /// arrive.
     pub fn set_link_enabled(&mut self, link: LinkId, enabled: bool) {
+        if self.link_enabled(link) == enabled {
+            return; // idempotent: re-failing a dead link must not re-purge
+        }
         let now = self.now;
         let mut kick = [false; 2];
         for (i, d) in self.links[link.0].dirs.iter_mut().enumerate() {
             d.enabled = enabled;
-            kick[i] = enabled && now >= d.busy_until;
+            if enabled {
+                kick[i] = now >= d.busy_until;
+            } else {
+                // A cut link loses whatever its egress buffer holds; count
+                // the flush so conservation (delivered + dropped + in-flight
+                // == sent) survives any failure schedule.
+                d.stats.dropped += d.qdisc.purge();
+            }
         }
         // Kick idle transmitters in case traffic queued while down.
         for (i, k) in kick.into_iter().enumerate() {
@@ -285,6 +298,22 @@ impl Network {
     /// Whether the link is currently enabled.
     pub fn link_enabled(&self, link: LinkId) -> bool {
         self.links[link.0].dirs[0].enabled
+    }
+
+    /// Schedules an administrative link state change at absolute time `at`
+    /// (a [`FaultPlan`](crate::FaultPlan) entry landing on the calendar).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `at` is in the past.
+    pub fn schedule_link_admin(&mut self, at: Nanos, link: LinkId, enabled: bool) {
+        self.push(at, Event::LinkAdmin { link, enabled });
+    }
+
+    /// Packets currently buffered across every link egress — the "in
+    /// flight or queued" term of the chaos harness's conservation check
+    /// (delivered + dropped + queued == sent).
+    pub fn queued_packets(&self) -> u64 {
+        self.links.iter().flat_map(|l| l.dirs.iter()).map(|d| d.qdisc.len_packets() as u64).sum()
     }
 
     /// Injects a packet as if node `node` had sent it on `iface` now.
@@ -351,6 +380,7 @@ impl Network {
                 self.try_start_tx(link, dir);
             }
             Event::DeferredSend { node, iface, pkt } => self.do_send(node, iface, pkt),
+            Event::LinkAdmin { link, enabled } => self.set_link_enabled(link, enabled),
         }
     }
 
@@ -675,6 +705,48 @@ mod tests {
         net.set_link_enabled(l, false);
         net.run_to_quiescence();
         assert_eq!(net.node_ref::<Recorder>(b).arrivals.len(), 1);
+    }
+
+    #[test]
+    fn cutting_a_link_flushes_queued_packets_into_dropped() {
+        // 1 Mb/s link, five 128 B packets (1.024 ms serialization each):
+        // by 1.5 ms one has been delivered and a second is on the wire,
+        // leaving three in the egress buffer when the fiber is cut.
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(BlackHole::default()));
+        let b = net.add_node(Box::new(Recorder::default()));
+        let (l, ia, _) = net.connect(a, b, LinkConfig::new(1_000_000, 0));
+        for _ in 0..5 {
+            net.inject(a, ia, pkt(100));
+        }
+        net.run_until(1_500_000);
+        net.set_link_enabled(l, false);
+        assert_eq!(net.link_stats(l, 0).dropped, 3, "queued packets land in dropped");
+        // Failing an already-failed link must not double-count.
+        net.set_link_enabled(l, false);
+        assert_eq!(net.link_stats(l, 0).dropped, 3);
+        net.run_to_quiescence();
+        assert_eq!(net.node_ref::<Recorder>(b).arrivals.len(), 2, "in-flight packet survives");
+        assert_eq!(net.queued_packets(), 0);
+    }
+
+    #[test]
+    fn scheduled_link_admin_cuts_and_repairs_on_the_calendar() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(BlackHole::default()));
+        let b = net.add_node(Box::new(Recorder::default()));
+        let (l, ia, _) = net.connect(a, b, LinkConfig::new(100_000_000, 0));
+        net.schedule_link_admin(2 * MSEC, l, false);
+        net.schedule_link_admin(4 * MSEC, l, true);
+        net.run_until(MSEC);
+        net.inject(a, ia, pkt(100)); // link still up: delivered
+        net.run_until(3 * MSEC);
+        net.inject(a, ia, pkt(100)); // cut landed at 2 ms: dropped
+        net.run_until(5 * MSEC);
+        net.inject(a, ia, pkt(100)); // repair landed at 4 ms: delivered
+        net.run_to_quiescence();
+        assert_eq!(net.node_ref::<Recorder>(b).arrivals.len(), 2);
+        assert_eq!(net.link_stats(l, 0).dropped, 1);
     }
 
     #[test]

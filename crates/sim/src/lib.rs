@@ -43,6 +43,7 @@
 
 mod calendar;
 pub mod engine;
+pub mod fault;
 pub mod fxmap;
 pub mod node;
 pub mod stats;
@@ -50,6 +51,7 @@ pub mod tcp;
 pub mod traffic;
 
 pub use engine::{LinkConfig, LinkId, LinkStats, Network};
+pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use netsim_qos::{Nanos, MSEC, SEC};
 pub use node::{Ctx, IfaceId, Node, NodeId};

@@ -39,9 +39,11 @@
 #![warn(missing_docs)]
 
 pub mod cspf;
+pub mod frr;
 pub mod intserv;
 pub mod trunk;
 
 pub use cspf::cspf_path;
+pub use frr::{cspf_path_excluding, BackupRoute, SrlgMap};
 pub use intserv::{FlowId, FlowRequest, IntServDomain, RsvpError};
 pub use trunk::{TeDomain, TeError, TrunkId, TrunkRequest};

@@ -4,6 +4,7 @@
 use netsim_routing::Topology;
 
 use crate::cspf::cspf_path;
+use crate::frr::{cspf_path_excluding, BackupRoute, SrlgMap};
 
 /// Number of priority levels (0 = most important, 7 = least).
 pub const PRIORITIES: usize = 8;
@@ -77,6 +78,10 @@ struct Trunk {
     req: TrunkRequest,
     path: Vec<usize>,
     links: Vec<usize>,
+    /// Fast-reroute bypasses, one per protected link of `path` (empty
+    /// until [`TeDomain::protect_trunk`] runs; recompute after
+    /// re-optimization moves the trunk).
+    backups: Vec<BackupRoute>,
 }
 
 /// The TE bandwidth broker for one backbone.
@@ -85,6 +90,7 @@ pub struct TeDomain {
     /// reserved[link][prio] = bits/s held at that priority.
     reserved: Vec<[u64; PRIORITIES]>,
     trunks: Vec<Option<Trunk>>,
+    srlg: SrlgMap,
 }
 
 impl TeDomain {
@@ -92,7 +98,24 @@ impl TeDomain {
     /// [`netsim_routing::LinkAttrs::capacity_bps`]).
     pub fn new(topo: Topology) -> Self {
         let links = topo.link_count();
-        TeDomain { topo, reserved: vec![[0; PRIORITIES]; links], trunks: Vec::new() }
+        TeDomain {
+            topo,
+            reserved: vec![[0; PRIORITIES]; links],
+            trunks: Vec::new(),
+            srlg: SrlgMap::new(links),
+        }
+    }
+
+    /// Declares that `link` belongs to shared-risk group `group`; backup
+    /// computation avoids the whole group, not just the protected link.
+    pub fn assign_srlg(&mut self, link: usize, group: u32) {
+        assert!(link < self.topo.link_count(), "no such link");
+        self.srlg.assign(link, group);
+    }
+
+    /// The SRLG membership map.
+    pub fn srlg(&self) -> &SrlgMap {
+        &self.srlg
     }
 
     /// The underlying topology.
@@ -193,8 +216,51 @@ impl TeDomain {
             self.reserved[l][req.hold_priority as usize] += req.demand_bps;
         }
         let id = TrunkId(self.trunks.len());
-        self.trunks.push(Some(Trunk { req, path, links }));
+        self.trunks.push(Some(Trunk { req, path, links, backups: Vec::new() }));
         Ok((id, preempted))
+    }
+
+    /// Computes a fast-reroute bypass for every link of an admitted
+    /// trunk's path: from the link's upstream node to its downstream node
+    /// (the merge point), excluding the protected link and every link
+    /// sharing an SRLG with it — a conduit cut must not take primary and
+    /// bypass down together. Returns how many of the path's links could be
+    /// protected; links with no risk-disjoint detour are left unprotected.
+    /// Bypasses reserve no bandwidth (the standard zero-bandwidth bypass
+    /// model: protection is transient, and moving the trunk for good is
+    /// the re-optimization pass's job).
+    ///
+    /// # Panics
+    /// Panics if `id` does not name an admitted trunk.
+    pub fn protect_trunk(&mut self, id: TrunkId) -> usize {
+        let t = self.trunks[id.0].as_ref().expect("protecting an unknown trunk");
+        let path = t.path.clone();
+        let links = t.links.clone();
+        let mut backups = Vec::new();
+        for (w, &protected) in path.windows(2).zip(&links) {
+            let bypass =
+                cspf_path_excluding(&self.topo, w[0], w[1], &self.srlg, protected, &|_| true);
+            if let Some(p) = bypass {
+                backups.push(BackupRoute { protected_link: protected, path: p });
+            }
+        }
+        let n = backups.len();
+        self.trunks[id.0].as_mut().expect("checked above").backups = backups;
+        n
+    }
+
+    /// The computed backup routes of a trunk (empty before
+    /// [`TeDomain::protect_trunk`], or when no link had a disjoint detour).
+    pub fn backups(&self, id: TrunkId) -> &[BackupRoute] {
+        self.trunks.get(id.0).and_then(|t| t.as_ref()).map_or(&[], |t| t.backups.as_slice())
+    }
+
+    /// Overwrites one backup route — a fault-injection hook for the static
+    /// verifier's negative tests (models a stale bypass surviving a
+    /// re-optimization that moved the primary onto it). Not used by any
+    /// forwarding path.
+    pub fn corrupt_backup_for_test(&mut self, id: TrunkId, backup_idx: usize, path: Vec<usize>) {
+        self.trunks[id.0].as_mut().expect("unknown trunk").backups[backup_idx].path = path;
     }
 
     /// Releases a trunk's reservation. Idempotent.
@@ -213,7 +279,9 @@ impl TeDomain {
 
     /// Tears down and re-signals every trunk in admission order — the
     /// periodic re-optimization pass operators run after topology changes.
-    /// Returns trunk ids that could no longer be placed.
+    /// Returns trunk ids that could no longer be placed. Re-placement
+    /// drops any fast-reroute backups (the primary may have moved); call
+    /// [`TeDomain::protect_trunk`] again afterwards.
     pub fn reoptimize(&mut self) -> Vec<TrunkId> {
         let ids: Vec<TrunkId> =
             (0..self.trunks.len()).filter(|&i| self.trunks[i].is_some()).map(TrunkId).collect();
@@ -372,6 +440,43 @@ mod tests {
         te.release(a); // idempotent
         let (b, _) = te.signal(TrunkRequest::new(0, 4, 9_000_000)).unwrap();
         assert_eq!(te.path(b).unwrap(), &[0, 1, 4], "shortest path available again");
+    }
+
+    #[test]
+    fn protect_trunk_computes_disjoint_bypasses() {
+        let mut te = TeDomain::new(fish());
+        let (a, _) = te.signal(TrunkRequest::new(0, 4, 1_000_000)).unwrap();
+        assert_eq!(te.path(a).unwrap(), &[0, 1, 4]);
+        assert!(te.backups(a).is_empty(), "no protection before protect_trunk");
+        assert_eq!(te.protect_trunk(a), 2, "both links of the short path protectable");
+        let backups = te.backups(a);
+        assert_eq!(backups[0].protected_link, 0);
+        assert_eq!(backups[0].path, vec![0, 2, 3, 4, 1], "bypass merges at node 1");
+        assert_eq!(backups[1].protected_link, 1);
+        assert_eq!(backups[1].path, vec![1, 0, 2, 3, 4], "bypass merges at node 4");
+    }
+
+    #[test]
+    fn srlg_blocks_fate_shared_bypass() {
+        let mut te = TeDomain::new(fish());
+        // Short and long approaches to node 4 ride one conduit.
+        te.assign_srlg(1, 7);
+        te.assign_srlg(4, 7);
+        let (a, _) = te.signal(TrunkRequest::new(0, 4, 1_000_000)).unwrap();
+        // Link 0 (0→1) still has a risk-disjoint detour; link 1 (1→4)
+        // does not — its only alternative shares the conduit.
+        assert_eq!(te.protect_trunk(a), 1);
+        assert_eq!(te.backups(a)[0].protected_link, 0);
+    }
+
+    #[test]
+    fn reoptimize_drops_stale_backups() {
+        let mut te = TeDomain::new(fish());
+        let (a, _) = te.signal(TrunkRequest::new(0, 4, 1_000_000)).unwrap();
+        te.protect_trunk(a);
+        assert!(!te.backups(a).is_empty());
+        assert!(te.reoptimize().is_empty());
+        assert!(te.backups(a).is_empty(), "protection must be recomputed after reopt");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Backbone failover: a fiber cut, detection, reconvergence, and repair —
-//! watched through a live voice flow.
+//! watched through a live voice flow. Act 2 replays the same cut with
+//! fast-reroute link protection installed and almost nothing is lost.
 //!
 //! ```sh
 //! cargo run --release --example backbone_failover
@@ -7,10 +8,11 @@
 
 use mplsvpn::routing::{LinkAttrs, Topology};
 use mplsvpn::sim::{LinkId, Sink, SourceConfig, MSEC, SEC};
+use mplsvpn::te::SrlgMap;
 use mplsvpn::vpn::BackboneBuilder;
 
-fn main() {
-    // Fish: short path PE0-P1-PE4, long path PE0-P2-P3-PE4.
+/// Fish: short path PE0-P1-PE4, long path PE0-P2-P3-PE4.
+fn fish() -> Topology {
     let mut topo = Topology::new(5);
     let attrs = LinkAttrs { cost: 1, capacity_bps: 10_000_000 };
     topo.add_link(0, 1, attrs); // 0 short
@@ -18,8 +20,11 @@ fn main() {
     topo.add_link(0, 2, attrs); // 2 long
     topo.add_link(2, 3, attrs); // 3 long
     topo.add_link(3, 4, attrs); // 4 long
+    topo
+}
 
-    let mut pn = BackboneBuilder::new(topo, vec![0, 4]).build();
+fn main() {
+    let mut pn = BackboneBuilder::new(fish(), vec![0, 4]).build();
     let vpn = pn.new_vpn("acme");
     let a = pn.add_site(vpn, 0, "10.1.0.0/16".parse().unwrap(), None);
     let b = pn.add_site(vpn, 1, "10.2.0.0/16".parse().unwrap(), None);
@@ -70,4 +75,35 @@ fn main() {
         (total - f.rx_packets) as f64 * 100.0 / total as f64
     );
     assert!(total - f.rx_packets < 50, "loss confined to the detection window");
+
+    // --- Act 2: the same cut, with fast-reroute link protection. ---
+    println!("\n— act 2: same story with fast reroute —");
+    let mut pn = BackboneBuilder::new(fish(), vec![0, 4])
+        .detection(20 * MSEC) // BFD-style detection, not IGP hold timers
+        .build();
+    let vpn = pn.new_vpn("acme");
+    let a = pn.add_site(vpn, 0, "10.1.0.0/16".parse().unwrap(), None);
+    let b = pn.add_site(vpn, 1, "10.2.0.0/16".parse().unwrap(), None);
+    let srlg = SrlgMap::new(pn.topo.link_count());
+    let bypasses = pn.protect_all_links(&srlg);
+    println!("t=0s    {bypasses} bypass LSPs installed (every link, both directions)");
+    let sink = pn.attach_sink(b, "10.2.0.0/16".parse().unwrap());
+    let cfg = SourceConfig::udp(1, pn.site_addr(a, 1), pn.site_addr(b, 1), 16400, 160);
+    pn.attach_cbr_source(a, cfg, interval, Some(total));
+
+    pn.run_for(2 * SEC);
+    println!("t=2s    ✂ cutting link P1—PE4 again — no reconvergence will run");
+    pn.fail_link(1);
+    pn.run_for(6 * SEC);
+    let switchovers = pn.active_switchovers();
+    let f = pn.net.node_ref::<Sink>(sink).flow(1).unwrap();
+    println!(
+        "t=8s    done: {}/{} delivered — {} lost in the 20 ms detection gap, \
+         {} switchover(s) carried the rest over the bypass",
+        f.rx_packets,
+        total,
+        total - f.rx_packets,
+        switchovers
+    );
+    assert!(total - f.rx_packets <= 8, "FRR confines loss to the detection gap");
 }

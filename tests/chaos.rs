@@ -1,0 +1,213 @@
+//! Chaos harness: seeded random fault schedules against random backbone
+//! shapes, checked for the invariants no failure order may break:
+//!
+//! 1. **Packet conservation** — every packet a source emitted is either
+//!    delivered to a sink, dropped on a link (tail drop, cut-link flush,
+//!    or down-interface refusal), dropped by a router (no route / TTL /
+//!    policer), absorbed by a control plane, or still queued when the
+//!    clock stops.
+//! 2. **Isolation** — two VPNs with *identical* (overlapping) address
+//!    plans never leak a packet into each other's sinks, no matter which
+//!    links flap in which order.
+//! 3. **Determinism** — the same seed replays to bit-identical flow and
+//!    link statistics.
+//!
+//! Both failover modes are exercised: even seeds run fast reroute (no
+//! reconvergence, bypass LSPs), odd seeds run global reconvergence after
+//! every fault event.
+
+use mplsvpn::routing::{LinkAttrs, Topology};
+use mplsvpn::sim::{
+    CbrSource, FaultPlan, LinkId, NodeId, PoissonSource, Sink, SourceConfig, MSEC, SEC,
+};
+use mplsvpn::te::SrlgMap;
+use mplsvpn::vpn::{
+    BackboneBuilder, CeRouter, CoreRouter, FailoverMode, PeRouter, ProviderNetwork,
+};
+
+/// Sources stop emitting here…
+const TRAFFIC_END: u64 = 4 * SEC;
+/// …and the simulator runs on to here so everything in flight lands.
+const RUN_END: u64 = 6 * SEC;
+
+/// The fish: 5 nodes, short path 0-1-4 over links {0,1}, long path over
+/// {2,3,4}. Cutting any subset of the short path keeps the PEs connected.
+fn fish() -> (Topology, Vec<usize>, Vec<usize>) {
+    let mut t = Topology::new(5);
+    let attrs = LinkAttrs { cost: 1, capacity_bps: 10_000_000 };
+    for (u, v) in [(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)] {
+        t.add_link(u, v, attrs);
+    }
+    (t, vec![0, 4], vec![0, 1])
+}
+
+/// A 2×3 ladder: top rail 0-1-2, bottom rail 3-4-5, three rungs. PEs sit
+/// at opposite corners (0 and 5). Links {0,1,5} (the top rail and middle
+/// rung) can all fail without disconnecting 0 from 5 via 0-3-4-5.
+fn ladder() -> (Topology, Vec<usize>, Vec<usize>) {
+    let mut t = Topology::new(6);
+    let attrs = LinkAttrs { cost: 1, capacity_bps: 10_000_000 };
+    for (u, v) in [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)] {
+        t.add_link(u, v, attrs);
+    }
+    (t, vec![0, 5], vec![0, 1, 5])
+}
+
+/// Everything a scenario needs for its post-mortem.
+struct Scenario {
+    pn: ProviderNetwork,
+    pes_topo: Vec<usize>,
+    /// (source node, flow id) per attached source.
+    sources: Vec<(NodeId, bool)>, // bool: true = CBR, false = Poisson
+    /// Sink node and the flow ids that legitimately belong to it.
+    sinks: Vec<(NodeId, Vec<u64>)>,
+}
+
+/// Builds the seeded scenario and replays its fault plan to `RUN_END`.
+fn run_scenario(seed: u64) -> Scenario {
+    let (topo, pes, cuttable) = if seed % 4 < 2 { fish() } else { ladder() };
+    let mode = if seed.is_multiple_of(2) {
+        FailoverMode::FastReroute
+    } else {
+        FailoverMode::GlobalReconverge
+    };
+    let link_count = topo.link_count();
+    let mut pn = BackboneBuilder::new(topo, pes.clone()).detection(25 * MSEC).build();
+
+    // Two VPNs with the *same* address plan: the harshest isolation test.
+    let mut sinks = Vec::new();
+    let mut sources = Vec::new();
+    for (v, name) in ["red", "blue"].iter().enumerate() {
+        let vpn = pn.new_vpn(*name);
+        let a = pn.add_site(vpn, 0, "10.1.0.0/16".parse().unwrap(), None);
+        let b = pn.add_site(vpn, 1, "10.2.0.0/16".parse().unwrap(), None);
+        let sink = pn.attach_sink(b, "10.2.0.0/16".parse().unwrap());
+        let base = 1000 * (v as u64 + 1);
+        // A steady CBR flow and a seeded Poisson flow per VPN.
+        let cbr = SourceConfig::udp(base, pn.site_addr(a, 1), pn.site_addr(b, 1), 16400, 160);
+        let n = pn.attach_cbr_source(a, cbr, 10 * MSEC, Some(TRAFFIC_END / (10 * MSEC)));
+        sources.push((n, true));
+        let poi = SourceConfig::udp(base + 1, pn.site_addr(a, 2), pn.site_addr(b, 2), 443, 600);
+        let n = pn.attach_poisson_source(a, poi, 5 * MSEC, seed ^ base, Some(TRAFFIC_END));
+        sources.push((n, false));
+        sinks.push((sink, vec![base, base + 1]));
+    }
+
+    if mode == FailoverMode::FastReroute {
+        let srlg = SrlgMap::new(link_count);
+        pn.protect_all_links(&srlg);
+    }
+
+    // 4 flaps over the cuttable links, outages ≥ 200 ms, all inside the
+    // traffic window so the faults actually bite.
+    let plan = FaultPlan::random(seed, &cuttable, 3 * SEC, 4, 200 * MSEC);
+    pn.execute_fault_plan(&plan, mode, RUN_END);
+    Scenario { pn, pes_topo: pes, sources, sinks }
+}
+
+/// Sum of every router-level counter that terminates a packet.
+fn router_terminations(s: &mut Scenario) -> (u64, u64) {
+    let mut dropped = 0;
+    let mut local = 0;
+    let mut tally = |c: &mplsvpn::vpn::router::RouterCounters| {
+        dropped += c.dropped_no_route + c.dropped_ttl + c.dropped_policer;
+        local += c.delivered_local;
+    };
+    for u in 0..s.pn.topo.node_count() {
+        let id = s.pn.backbone_node(u);
+        if s.pes_topo.contains(&u) {
+            tally(&s.pn.net.node_ref::<PeRouter>(id).counters);
+        } else {
+            tally(&s.pn.net.node_ref::<CoreRouter>(id).counters);
+        }
+    }
+    for i in 0..s.pn.sites.len() {
+        let ce = s.pn.sites[i].ce;
+        tally(&s.pn.net.node_ref::<CeRouter>(ce).counters);
+    }
+    (dropped, local)
+}
+
+#[test]
+fn chaos_packet_conservation_holds_under_any_failure_order() {
+    for seed in 0..8 {
+        let mut s = run_scenario(seed);
+        let sent: u64 = s
+            .sources
+            .iter()
+            .map(|&(n, cbr)| {
+                if cbr {
+                    s.pn.net.node_ref::<CbrSource>(n).tx.tx_packets
+                } else {
+                    s.pn.net.node_ref::<PoissonSource>(n).tx.tx_packets
+                }
+            })
+            .sum();
+        let delivered: u64 =
+            s.sinks.iter().map(|&(n, _)| s.pn.net.node_ref::<Sink>(n).total_packets).sum();
+        let link_dropped: u64 = (0..s.pn.net.link_count())
+            .flat_map(|l| (0..2).map(move |d| (l, d)))
+            .map(|(l, d)| s.pn.net.link_stats(LinkId(l), d).dropped)
+            .sum();
+        let queued = s.pn.net.queued_packets();
+        let (router_dropped, delivered_local) = router_terminations(&mut s);
+        assert_eq!(
+            sent,
+            delivered + link_dropped + router_dropped + delivered_local + queued,
+            "conservation broke at seed {seed}: sent={sent} delivered={delivered} \
+             link_dropped={link_dropped} router_dropped={router_dropped} \
+             local={delivered_local} queued={queued}"
+        );
+        assert!(sent > 0, "seed {seed} generated no traffic");
+        assert!(delivered > 0, "seed {seed} delivered nothing — network dead");
+    }
+}
+
+#[test]
+fn chaos_no_cross_vrf_delivery_ever() {
+    for seed in 0..8 {
+        let s = run_scenario(seed);
+        let all_ids: Vec<u64> = s.sinks.iter().flat_map(|(_, ids)| ids.iter().copied()).collect();
+        for (sink, own_ids) in &s.sinks {
+            let sink = s.pn.net.node_ref::<Sink>(*sink);
+            // Every packet this sink absorbed belongs to one of its own
+            // flows: per-flow counts must add up to the absolute total.
+            let own_rx: u64 =
+                own_ids.iter().filter_map(|&id| sink.flow(id)).map(|f| f.rx_packets).sum();
+            assert_eq!(own_rx, sink.total_packets, "foreign packets at a VRF sink, seed {seed}");
+            // And no foreign flow id ever materialized.
+            for id in all_ids.iter().filter(|id| !own_ids.contains(id)) {
+                assert!(sink.flow(*id).is_none(), "flow {id} leaked across VRFs, seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_replays_are_bit_identical() {
+    for seed in 0..8 {
+        let sig_a = signature(run_scenario(seed));
+        let sig_b = signature(run_scenario(seed));
+        assert_eq!(sig_a, sig_b, "seed {seed} did not replay identically");
+    }
+}
+
+/// Full observable state of a finished scenario, suitable for equality.
+fn signature(s: Scenario) -> Vec<(u64, u64, u64, u64)> {
+    let mut sig = Vec::new();
+    for (sink, ids) in &s.sinks {
+        let sink = s.pn.net.node_ref::<Sink>(*sink);
+        for &id in ids {
+            let (rx, bytes, seq) =
+                sink.flow(id).map_or((0, 0, 0), |f| (f.rx_packets, f.rx_bytes, f.max_seq));
+            sig.push((id, rx, bytes, seq));
+        }
+    }
+    for l in 0..s.pn.net.link_count() {
+        for d in 0..2 {
+            let st = s.pn.net.link_stats(LinkId(l), d);
+            sig.push((l as u64, u64::from(d), st.tx_packets, st.dropped));
+        }
+    }
+    sig
+}

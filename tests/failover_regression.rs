@@ -1,0 +1,71 @@
+//! Convergence regression: pins the exact packets-lost-in-blind-window
+//! counts of the `backbone_failover` story, pre-FRR and with FRR.
+//!
+//! The simulator is deterministic, so these are equalities, not ranges:
+//! any change to queueing, detection, reconvergence ordering or the FRR
+//! switchover path that moves a single packet shows up here.
+
+use mplsvpn::routing::{LinkAttrs, Topology};
+use mplsvpn::sim::{Sink, SourceConfig, MSEC, SEC};
+use mplsvpn::te::SrlgMap;
+use mplsvpn::vpn::{BackboneBuilder, ProviderNetwork};
+
+/// Fish: short path PE0-P1-PE4 (links 0,1), long PE0-P2-P3-PE4 (2,3,4).
+fn fish() -> Topology {
+    let mut topo = Topology::new(5);
+    let attrs = LinkAttrs { cost: 1, capacity_bps: 10_000_000 };
+    for (u, v) in [(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)] {
+        topo.add_link(u, v, attrs);
+    }
+    topo
+}
+
+/// One VPN, a site on each PE, and a 200 pps voice flow for 8 s.
+fn voice_fish(detect_ns: u64) -> (ProviderNetwork, mplsvpn::sim::NodeId, u64) {
+    let mut pn = BackboneBuilder::new(fish(), vec![0, 4]).detection(detect_ns).build();
+    let vpn = pn.new_vpn("acme");
+    let a = pn.add_site(vpn, 0, "10.1.0.0/16".parse().unwrap(), None);
+    let b = pn.add_site(vpn, 1, "10.2.0.0/16".parse().unwrap(), None);
+    let sink = pn.attach_sink(b, "10.2.0.0/16".parse().unwrap());
+    let interval = 5 * MSEC;
+    let total = 8 * SEC / interval;
+    let cfg = SourceConfig::udp(1, pn.site_addr(a, 1), pn.site_addr(b, 1), 16400, 160);
+    pn.attach_cbr_source(a, cfg, interval, Some(total));
+    (pn, sink, total)
+}
+
+fn lost(pn: &ProviderNetwork, sink: mplsvpn::sim::NodeId, total: u64) -> u64 {
+    total - pn.net.node_ref::<Sink>(sink).flow(1).expect("flow reached the sink").rx_packets
+}
+
+/// Pre-FRR: cut at 2 s, 150 ms blind window, reconverge, repair at
+/// 4.15 s, reconverge. Exactly 30 packets die — 29 in the blind window
+/// plus the one in flight on the cut link.
+#[test]
+fn global_reconvergence_loses_exactly_thirty_packets() {
+    let (mut pn, sink, total) = voice_fish(150 * MSEC);
+    pn.run_for(2 * SEC);
+    pn.fail_link(1);
+    pn.run_for(150 * MSEC);
+    pn.reconverge();
+    pn.run_for(2 * SEC);
+    pn.repair_link(1);
+    pn.reconverge();
+    pn.run_for(4 * SEC);
+    assert_eq!(lost(&pn, sink, total), 30);
+}
+
+/// With FRR: same cut, 20 ms BFD detection, no reconvergence ever.
+/// Exactly 5 packets die — 4 in the detection gap plus the one in
+/// flight — and the bypass carries the remaining 4 s of the call.
+#[test]
+fn fast_reroute_loses_exactly_five_packets() {
+    let (mut pn, sink, total) = voice_fish(20 * MSEC);
+    let srlg = SrlgMap::new(pn.topo.link_count());
+    assert_eq!(pn.protect_all_links(&srlg), 10, "both directions of all five links");
+    pn.run_for(2 * SEC);
+    pn.fail_link(1);
+    pn.run_for(6 * SEC);
+    assert_eq!(lost(&pn, sink, total), 5);
+    assert_eq!(pn.active_switchovers(), 2);
+}
