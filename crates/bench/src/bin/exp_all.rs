@@ -1,30 +1,50 @@
 //! Runs every experiment (quick parameters) and prints all tables — the
 //! source of EXPERIMENTS.md's measured columns. Pass --full for the full
-//! parameter set.
-use mplsvpn_bench::experiments as e;
+//! parameter set; pass `--artifacts DIR` to also write each section's
+//! table to `DIR/<name>.txt` and, for instrumented experiments, the run's
+//! [`mplsvpn_core::MetricsSnapshot`] to `DIR/<name>_metrics.json` (what
+//! CI uploads).
+use mplsvpn_bench::{experiments as e, ExpReport};
 
-type Section = (&'static str, fn(bool) -> String);
+type Section = (&'static str, fn(bool) -> ExpReport);
 
 fn main() {
-    let quick = !std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = !args.iter().any(|a| a == "--full");
+    let artifacts: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--artifacts")
+        .map(|i| args.get(i + 1).expect("--artifacts needs a directory").into());
+    if let Some(dir) = &artifacts {
+        std::fs::create_dir_all(dir).expect("create artifacts dir");
+    }
     let sections: Vec<Section> = vec![
-        ("T1", e::scalability::run),
-        ("F1", e::isolation::run),
-        ("F2", e::tunnels::run),
-        ("F3", e::trace::run),
-        ("F4", e::forwarding::run),
-        ("Q1", e::qos::run),
-        ("Q2", e::ipsec_qos::run),
-        ("Q3", e::te::run),
-        ("Q4", e::interprovider::run),
-        ("M1", e::membership::run),
-        ("R1", e::resilience::run),
-        ("R2", e::failover::run),
-        ("A1", e::aqm::run),
-        ("S1", e::intserv::run),
+        ("T1", |q| e::scalability::run(q).into()),
+        ("F1", |q| e::isolation::run(q).into()),
+        ("F2", |q| e::tunnels::run(q).into()),
+        ("F3", |q| e::trace::run(q).into()),
+        ("F4", |q| e::forwarding::run(q).into()),
+        ("Q1", e::qos::report),
+        ("Q2", |q| e::ipsec_qos::run(q).into()),
+        ("Q3", |q| e::te::run(q).into()),
+        ("Q4", |q| e::interprovider::run(q).into()),
+        ("M1", |q| e::membership::run(q).into()),
+        ("R1", |q| e::resilience::run(q).into()),
+        ("R2", e::failover::report),
+        ("A1", |q| e::aqm::run(q).into()),
+        ("S1", |q| e::intserv::run(q).into()),
     ];
     for (name, f) in sections {
         println!("######## {name} ########");
-        println!("{}", f(quick));
+        let report = f(quick);
+        println!("{report}");
+        if let Some(dir) = &artifacts {
+            std::fs::write(dir.join(format!("{name}.txt")), &report.table)
+                .expect("write table artifact");
+            if let Some(snap) = &report.snapshot {
+                std::fs::write(dir.join(format!("{name}_metrics.json")), snap.to_json())
+                    .expect("write metrics artifact");
+            }
+        }
     }
 }

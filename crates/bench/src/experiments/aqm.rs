@@ -82,6 +82,7 @@ pub fn measure(aqm: Aqm, duration: Nanos) -> AqmResult {
                 dscp: netsim_net::Dscp::BE,
                 payload: 1200,
                 iface: netsim_sim::IfaceId(0),
+                probe: false,
             };
             pn.attach_tcp_source(a, cfg, Some(duration), aqm == Aqm::RedEcn)
         })

@@ -15,12 +15,13 @@
 //! voice SLA.
 
 use mplsvpn_core::network::DsSched;
-use mplsvpn_core::{BackboneBuilder, CoreQos, FailoverMode, Sla};
+use mplsvpn_core::{BackboneBuilder, CoreQos, FailoverMode, MetricsSnapshot, Sla};
 use netsim_net::addr::pfx;
 use netsim_qos::Nanos;
 use netsim_sim::{FaultAction, FaultEvent, FaultPlan, Sink, MSEC, SEC};
 use netsim_te::SrlgMap;
 
+use crate::report::ExpReport;
 use crate::table::{ms, Table};
 use crate::{mix, topo};
 
@@ -59,6 +60,13 @@ pub struct FailoverResult {
 
 /// Runs the cut/repair cycle under `mode` with the given detection delay.
 pub fn measure(mode: FailoverMode, detection_ns: Nanos) -> FailoverResult {
+    measure_full(mode, detection_ns).0
+}
+
+/// [`measure`] plus the run's full metrics snapshot — the cut shows up as
+/// `link_down_purge` drop-cause rows, the bypass as LFIB
+/// `bypass_activations`.
+pub fn measure_full(mode: FailoverMode, detection_ns: Nanos) -> (FailoverResult, MetricsSnapshot) {
     let (t, pes) = topo::fish(10);
     let mut pn = BackboneBuilder::new(t, pes)
         .core_qos(CoreQos::DiffServ { cap_bytes: 256 * 1024, sched: DsSched::Priority })
@@ -93,7 +101,7 @@ pub fn measure(mode: FailoverMode, detection_ns: Nanos) -> FailoverResult {
             sla_violations += 1;
         }
     }
-    FailoverResult {
+    let result = FailoverResult {
         mode,
         detection_ns,
         voice_tx,
@@ -104,7 +112,9 @@ pub fn measure(mode: FailoverMode, detection_ns: Nanos) -> FailoverResult {
         switchovers: out.switchovers,
         reconvergences: out.reconvergences,
         control_messages: out.control_messages,
-    }
+    };
+    let snap = pn.metrics_snapshot();
+    (result, snap)
 }
 
 /// Detection delay used for the FRR rows: ~3 missed BFD hellos.
@@ -149,6 +159,12 @@ pub fn run(_quick: bool) -> String {
     t.render()
 }
 
+/// [`run`]'s table plus the FRR run's snapshot.
+pub fn report(quick: bool) -> ExpReport {
+    let (_, snap) = measure_full(FailoverMode::FastReroute, FRR_DETECT);
+    ExpReport { table: run(quick), snapshot: Some(snap) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +194,27 @@ mod tests {
             frr.sla_violations,
             global.sla_violations
         );
+    }
+
+    /// The flight recorder explains the outage: packets lost to the cut
+    /// appear as `link_down_purge`, and the bypass LSP leaves
+    /// `bypass_activations` in the protecting router's LFIB stats.
+    #[test]
+    fn snapshot_attributes_the_cut_and_the_bypass() {
+        let (r, snap) = measure_full(FailoverMode::FastReroute, FRR_DETECT);
+        assert!(r.switchovers >= 1);
+        assert!(
+            snap.drop_causes.iter().any(|(n, v)| n == "link_down_purge" && *v > 0),
+            "the blind window's losses must be attributed: {:?}",
+            snap.drop_causes
+        );
+        let bypassed: u64 = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.ends_with(".lfib.bypass_activations"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(bypassed > 0, "protected traffic must show in LFIB stats");
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! see "a consistent level of service" regardless of the bulk overload.
 
 use mplsvpn_core::network::DsSched;
-use mplsvpn_core::{BackboneBuilder, CoreQos, Sla};
+use mplsvpn_core::{BackboneBuilder, CoreQos, MetricsSnapshot, Sla};
 use netsim_net::addr::pfx;
+use netsim_net::Dscp;
 use netsim_qos::Nanos;
-use netsim_sim::{FlowStats, NodeId, Sink, SEC};
+use netsim_sim::{FlowStats, NodeId, Sink, MSEC, SEC};
 
 use crate::mix::{attach_mix_provider, tx_packets, FlowDesc};
+use crate::report::ExpReport;
 use crate::table::{f2, ms, pct, Table};
 use crate::topo;
 
@@ -94,6 +96,29 @@ pub fn measure(qos: CoreQos, duration: Nanos, seed: u64) -> (Vec<ClassRow>, f64)
     (rows, util)
 }
 
+/// Like [`measure`] with the DiffServ priority core, but with one SLA
+/// probe per class riding alongside the mix, and the full metrics
+/// snapshot (registry, drop causes, per-layer counters, probe table)
+/// captured after the drain.
+pub fn measure_instrumented(duration: Nanos, seed: u64) -> (Vec<ClassRow>, MetricsSnapshot) {
+    let qos = CoreQos::DiffServ { cap_bytes: 128 * 1024, sched: DsSched::Priority };
+    let (t, pes) = topo::dumbbell(10);
+    let mut pn = BackboneBuilder::new(t, pes).core_qos(qos).seed(seed).build();
+    let vpn = pn.new_vpn("acme");
+    let a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), None);
+    let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
+    let sink = pn.attach_sink(b, pfx("10.2.0.0/16"));
+    // One low-rate probe per sold class: what the SLA dashboard reports.
+    for dscp in [Dscp::EF, Dscp::AF41, Dscp::AF21, Dscp::BE] {
+        pn.attach_sla_probe(a, b, dscp, 20 * MSEC, Some(duration / (20 * MSEC)));
+    }
+    let flows = attach_mix_provider(&mut pn, a, b, 1, seed, duration);
+    pn.run_for(duration + SEC);
+    let rows = class_rows(&pn.net, sink, &flows);
+    let snap = pn.metrics_snapshot();
+    (rows, snap)
+}
+
 /// The four configurations of the ablation.
 pub fn configs() -> Vec<(&'static str, CoreQos)> {
     let cap = 128 * 1024;
@@ -149,6 +174,13 @@ pub fn run(quick: bool) -> String {
     out
 }
 
+/// [`run`]'s tables plus the instrumented DS-priority snapshot.
+pub fn report(quick: bool) -> ExpReport {
+    let duration = if quick { SEC } else { 5 * SEC };
+    let (_, snap) = measure_instrumented(duration, 7);
+    ExpReport { table: run(quick), snapshot: Some(snap) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +216,26 @@ mod tests {
         // Bulk pays under DiffServ (someone must absorb the overload).
         let b_ds = row(&ds, "BE");
         assert!(b_ds.loss > 0.05, "bulk must absorb the overload, loss {}", b_ds.loss);
+    }
+
+    /// The SLA probes measure the class they are stamped with: under the
+    /// overload the EF probe stays near-lossless while the BE probe — in
+    /// the band absorbing the overload — fares no better than EF.
+    #[test]
+    fn sla_probes_see_the_class_differentiation() {
+        let (_, snap) = measure_instrumented(2 * SEC, 7);
+        assert_eq!(snap.probes.len(), 4, "one probe row per class");
+        let probe =
+            |class: &str| snap.probes.iter().find(|p| p.class == class).expect("probe row present");
+        let ef = probe("EF");
+        assert!(ef.tx > 0 && ef.loss_pct < 1.0, "EF probe must survive the overload: {ef:?}");
+        let be = probe("BE");
+        assert!(
+            be.mean_delay_ns >= ef.mean_delay_ns,
+            "BE probe cannot beat EF through a saturated priority core: be={be:?} ef={ef:?}"
+        );
+        // The snapshot attributes the overload's losses to real causes.
+        assert!(!snap.drop_causes.is_empty(), "a 135% offered load must record drop causes");
     }
 
     /// All three DiffServ schedulers keep voice loss low (the ablation's

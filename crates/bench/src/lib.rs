@@ -7,15 +7,19 @@
 //! parameters.
 //!
 //! Shared pieces: [`table`] (fixed-width table formatting), [`topo`]
-//! (reference topologies), and [`mix`] (the canonical voice/video/data/bulk
-//! traffic mix used by the QoS experiments).
+//! (reference topologies), [`mix`] (the canonical voice/video/data/bulk
+//! traffic mix used by the QoS experiments), and [`report`] (table +
+//! metrics-snapshot bundles for CI artifact export).
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod mix;
+pub mod report;
 pub mod table;
 pub mod topo;
+
+pub use report::ExpReport;
 
 /// Runs a set of labelled jobs across threads (one per job) and returns
 /// their outputs in input order. Each job builds its own simulator, so the

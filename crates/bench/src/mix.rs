@@ -122,6 +122,7 @@ fn source_config(spec: &Spec, id: u64, src: Ip, dst: Ip) -> SourceConfig {
         dscp: spec.dscp,
         payload: spec.payload,
         iface: netsim_sim::IfaceId(0),
+        probe: false,
     }
 }
 

@@ -1,0 +1,42 @@
+//! Experiment output bundling: a rendered table plus the optional
+//! [`MetricsSnapshot`] captured from the run that produced it, so CI can
+//! publish machine-readable numbers next to every human-readable table.
+
+use std::fmt;
+
+use mplsvpn_core::MetricsSnapshot;
+
+/// What one experiment produces: the table text every binary prints, and
+/// (for instrumented experiments) the full metrics snapshot of a
+/// representative run for artifact export.
+#[derive(Default)]
+pub struct ExpReport {
+    /// Rendered fixed-width table(s).
+    pub table: String,
+    /// Snapshot of the instrumented run, if the experiment captures one.
+    pub snapshot: Option<MetricsSnapshot>,
+}
+
+impl From<String> for ExpReport {
+    fn from(table: String) -> Self {
+        ExpReport { table, snapshot: None }
+    }
+}
+
+impl fmt::Display for ExpReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_tables_wrap_without_a_snapshot() {
+        let r: ExpReport = "| a |\n".to_owned().into();
+        assert!(r.snapshot.is_none());
+        assert_eq!(format!("{r}"), "| a |\n");
+    }
+}

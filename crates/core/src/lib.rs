@@ -38,6 +38,7 @@ pub mod interprovider;
 pub mod ipsec_vpn;
 pub mod membership;
 pub mod network;
+pub mod obs;
 pub mod overlay;
 pub mod router;
 pub mod sla;
@@ -45,8 +46,10 @@ pub mod trace;
 mod verify;
 
 pub use frr::{FailoverMode, FaultOutcome, ReconvergeSummary};
+pub use netsim_obs::{DropCause, FlightRecorder, MetricsRegistry, MetricsSnapshot, ProbeRow};
 pub use netsim_verify::{codes, Diagnostic, Severity, VerifyReport};
 pub use network::{BackboneBuilder, CoreQos, ProviderNetwork, SiteId, VpnId};
+pub use obs::PROBE_FLOW_BASE;
 pub use router::{CeRouter, CoreRouter, PeRouter};
 pub use sla::{voice_mos, Sla, SlaReport};
 pub use trace::{HopRecord, TraceLog};

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 
 use netsim_mpls::ldp::{Fec, LdpConfig, LdpDomain};
 use netsim_net::{Ip, Packet, Prefix};
+use netsim_obs::{FlightRecorder, MetricsRegistry};
 use netsim_qos::sched::PriorityScheduler;
 use netsim_qos::{
     queue::class_by_exp_or_dscp, ClassOf, DrrScheduler, FifoQueue, MarkingPolicy, Nanos,
@@ -240,6 +241,10 @@ impl BackboneBuilder {
         let mut ldp = LdpDomain::run(&adjacency, &fecs, &nh, LdpConfig { php: self.php });
 
         let mut net = Network::new();
+        // Observability is always on: one flight recorder shared by the
+        // engine and every router, one registry for named series.
+        let recorder = FlightRecorder::default();
+        net.set_recorder(recorder.clone());
         let mut node_ids = Vec::with_capacity(self.topo.node_count());
         let pe_ordinal: HashMap<usize, usize> =
             self.pes.iter().enumerate().map(|(k, &pe)| (pe, k)).collect();
@@ -250,12 +255,14 @@ impl BackboneBuilder {
                 if let Some(t) = &self.trace {
                     pe = pe.with_trace(t.clone());
                 }
+                pe.set_recorder(recorder.clone());
                 net.add_node(Box::new(pe))
             } else {
                 let mut p = CoreRouter::new(format!("P{u}"), lfib);
                 if let Some(t) = &self.trace {
                     p = p.with_trace(t.clone());
                 }
+                p.set_recorder(recorder.clone());
                 net.add_node(Box::new(p))
             };
             node_ids.push(id);
@@ -291,6 +298,9 @@ impl BackboneBuilder {
             core_qos: self.core_qos,
             extranets: Vec::new(),
             ef_contracts: Vec::new(),
+            recorder,
+            registry: MetricsRegistry::new(),
+            probes: Vec::new(),
         }
     }
 }
@@ -322,6 +332,9 @@ pub struct ProviderNetwork {
     pub(crate) core_qos: CoreQos,
     pub(crate) extranets: Vec<(VpnId, VpnId)>,
     pub(crate) ef_contracts: Vec<netsim_verify::EfContract>,
+    pub(crate) recorder: FlightRecorder,
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) probes: Vec<crate::obs::ProbeSpec>,
 }
 
 impl ProviderNetwork {
@@ -383,7 +396,9 @@ impl ProviderNetwork {
                 let info = &self.vpns[vpn.0];
                 let handle = self.fabric.add_vrf(pe, info.rd, vec![info.rt], vec![info.rt]);
                 let name = info.name.clone();
-                let vrf_idx = self.net.node_mut::<PeRouter>(pe_node).add_vrf(name);
+                let vrf_idx = self.net.node_mut::<PeRouter>(pe_node).add_vrf(name.clone());
+                let fwd = self.registry.counter(&format!("vrf.{name}.pe{pe}.forwarded"));
+                self.net.node_mut::<PeRouter>(pe_node).vrfs[vrf_idx].set_forward_counter(fwd);
                 self.fabric.refresh_vrf(handle);
                 self.vrf_handles.insert((pe, vpn), (handle, vrf_idx));
                 (handle, vrf_idx)
@@ -396,6 +411,7 @@ impl ProviderNetwork {
         if let Some(t) = &self.trace {
             ce = ce.with_trace(t.clone());
         }
+        ce.set_recorder(self.recorder.clone());
         let ce_id = self.net.add_node(Box::new(ce));
         let cfg = LinkConfig::new(self.access_rate_bps, self.access_delay_ns);
         let (access_link, _ce_if, pe_if) = self.net.connect(ce_id, pe_node, cfg);
@@ -817,7 +833,12 @@ impl ProviderNetwork {
         };
         for u in 0..self.topo.node_count() {
             let lfib = std::mem::take(&mut ldp.nodes[u].lfib);
-            self.with_lfib(u, move |l| *l = lfib);
+            self.with_lfib(u, move |l| {
+                // Replacing the table must not erase the router's
+                // forwarding history: carry the counters into the new LFIB.
+                lfib.stats().merge(l.stats());
+                *l = lfib;
+            });
         }
         self.ldp = ldp;
         self.sync_remote_routes();

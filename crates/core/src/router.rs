@@ -15,6 +15,7 @@ use std::any::Any;
 use netsim_mpls::lfib::{LfibVerdict, LOCAL_IFACE};
 use netsim_mpls::{FtnEntry, Lfib};
 use netsim_net::{Dscp, Ip, Layer, LpmCache, LpmTrie, MplsLabel, Packet, Pkt, Prefix};
+use netsim_obs::{Counter, DropCause, FlightRecorder};
 use netsim_qos::{Color, ExpMap, MarkingPolicy, SrTcm};
 use netsim_sim::{Ctx, FxHashMap, IfaceId, Node};
 
@@ -51,8 +52,28 @@ pub struct RouterCounters {
     pub dropped_ttl: u64,
     /// Packets dropped by the edge policer.
     pub dropped_policer: u64,
+    /// Packets carrying a VPN label (or inner destination) this PE has no
+    /// VRF state for — the isolation drop, kept separate from plain
+    /// routing misses so a leak attempt is visible as such.
+    pub dropped_vrf_miss: u64,
     /// Packets that arrived addressed to this device (absorbed).
     pub delivered_local: u64,
+}
+
+/// Records a drop into an optional flight recorder (routers carry
+/// `Option<FlightRecorder>` so standalone unit setups pay one branch).
+fn record_drop(rec: &Option<FlightRecorder>, now: u64, pkt: &Packet, cause: DropCause) {
+    if let Some(r) = rec {
+        r.record(now, pkt.meta.flow, pkt.meta.seq, cause);
+    }
+}
+
+/// Records a local absorption (the packet terminated here by design, not
+/// by failure) so conservation checks can separate the two.
+fn record_absorbed(rec: &Option<FlightRecorder>, pkt: &Packet) {
+    if let Some(r) = rec {
+        r.record_absorbed(pkt.meta.flow);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -73,6 +94,8 @@ pub struct CoreRouter {
     pub counters: RouterCounters,
     /// Optional hop trace.
     pub trace: Option<TraceLog>,
+    /// Optional drop-cause flight recorder (shared with the network's).
+    pub recorder: Option<FlightRecorder>,
 }
 
 impl CoreRouter {
@@ -84,6 +107,7 @@ impl CoreRouter {
             fib: LpmTrie::new(),
             counters: RouterCounters::default(),
             trace: None,
+            recorder: None,
         }
     }
 
@@ -93,19 +117,27 @@ impl CoreRouter {
         self
     }
 
+    /// Attaches a drop-cause flight recorder.
+    pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        self.recorder = Some(rec);
+    }
+
     fn forward_ip(&mut self, mut pkt: Pkt, ctx: &mut Ctx) {
         self.counters.lpm_lookups += 1;
         let Some(hdr) = pkt.outer_ipv4_mut() else {
             self.counters.dropped_no_route += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
             return;
         };
         if !hdr.decrement_ttl() {
             self.counters.dropped_ttl += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::Ttl);
             return;
         }
         let dst = hdr.dst;
         let Some(&out) = self.fib.lookup(dst) else {
             self.counters.dropped_no_route += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
             return;
         };
         self.counters.forwarded += 1;
@@ -146,9 +178,18 @@ impl Node for CoreRouter {
                 }
                 ctx.send(IfaceId(out_iface), pkt);
             }
-            LfibVerdict::PoppedToLocal => self.counters.delivered_local += 1,
-            LfibVerdict::TtlExpired => self.counters.dropped_ttl += 1,
-            LfibVerdict::NoEntry | LfibVerdict::NotLabeled => self.counters.dropped_no_route += 1,
+            LfibVerdict::PoppedToLocal => {
+                self.counters.delivered_local += 1;
+                record_absorbed(&self.recorder, &pkt);
+            }
+            LfibVerdict::TtlExpired => {
+                self.counters.dropped_ttl += 1;
+                record_drop(&self.recorder, ctx.now(), &pkt, DropCause::Ttl);
+            }
+            LfibVerdict::NoEntry | LfibVerdict::NotLabeled => {
+                self.counters.dropped_no_route += 1;
+                record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
+            }
         }
     }
 
@@ -204,6 +245,24 @@ pub struct VrfFib {
     ingress_cache: LpmCache,
     /// Route cache for egress (VPN label → local site) lookups.
     egress_cache: LpmCache,
+    /// Registry-backed per-VRF forwarded-packet counter (pre-resolved
+    /// handle: bumping it is a `Cell` write, not a name lookup).
+    fwd: Option<Counter>,
+}
+
+impl VrfFib {
+    /// Attaches a registry counter bumped once per packet this VRF
+    /// forwards (ingress impositions and egress dispatches alike).
+    pub fn set_forward_counter(&mut self, c: Counter) {
+        self.fwd = Some(c);
+    }
+
+    #[inline]
+    fn count_forward(&self) {
+        if let Some(c) = &self.fwd {
+            c.inc();
+        }
+    }
 }
 
 /// What a PE interface is attached to.
@@ -239,6 +298,8 @@ pub struct PeRouter {
     pub counters: RouterCounters,
     /// Optional hop trace.
     pub trace: Option<TraceLog>,
+    /// Optional drop-cause flight recorder (shared with the network's).
+    pub recorder: Option<FlightRecorder>,
 }
 
 impl PeRouter {
@@ -255,6 +316,7 @@ impl PeRouter {
             policers: FxHashMap::default(),
             counters: RouterCounters::default(),
             trace: None,
+            recorder: None,
         }
     }
 
@@ -264,6 +326,11 @@ impl PeRouter {
         self
     }
 
+    /// Attaches a drop-cause flight recorder.
+    pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        self.recorder = Some(rec);
+    }
+
     /// Adds a VRF, returning its index.
     pub fn add_vrf(&mut self, name: impl Into<String>) -> usize {
         self.vrfs.push(VrfFib {
@@ -271,6 +338,7 @@ impl PeRouter {
             fib: LpmTrie::new(),
             ingress_cache: LpmCache::default(),
             egress_cache: LpmCache::default(),
+            fwd: None,
         });
         self.vrfs.len() - 1
     }
@@ -350,14 +418,17 @@ impl PeRouter {
     fn handle_customer(&mut self, in_iface: usize, vrf: usize, mut pkt: Pkt, ctx: &mut Ctx) {
         if !self.police(in_iface, &mut pkt, ctx.now()) {
             self.counters.dropped_policer += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::Policer);
             return;
         }
         let Some(hdr) = pkt.outer_ipv4_mut() else {
             self.counters.dropped_no_route += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
             return;
         };
         if !hdr.decrement_ttl() {
             self.counters.dropped_ttl += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::Ttl);
             return;
         }
         let (dst, dscp, ttl) = (hdr.dst, hdr.dscp, hdr.ttl);
@@ -368,12 +439,14 @@ impl PeRouter {
         let VrfFib { fib, ingress_cache, .. } = &mut self.vrfs[vrf];
         let Some(route) = fib.lookup_cached(dst, ingress_cache) else {
             self.counters.dropped_no_route += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
             return;
         };
         match route {
             VrfRoute::Local { out_iface } => {
                 let out_iface = *out_iface;
                 self.counters.forwarded += 1;
+                self.vrfs[vrf].count_forward();
                 if let Some(t) = &self.trace {
                     t.record(
                         ctx.now(),
@@ -414,6 +487,7 @@ impl PeRouter {
                 // by link-failure detection and a bypass is installed, the
                 // LFIB pushes the bypass label(s) and redirects locally.
                 let out_iface = self.lfib.apply_protection(&mut pkt, tunnel.out_iface);
+                self.vrfs[vrf].count_forward();
                 ctx.send(IfaceId(out_iface), pkt);
             }
         }
@@ -422,16 +496,20 @@ impl PeRouter {
     fn dispatch_vpn_label(&mut self, mut pkt: Pkt, ctx: &mut Ctx) {
         let Some(top) = pkt.top_label() else {
             self.counters.dropped_no_route += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
             return;
         };
         let Some(&vrf) = self.vpn_ilm.get(&top.label) else {
-            self.counters.dropped_no_route += 1;
+            // Unknown VPN label: an isolation drop, not a routing miss.
+            self.counters.dropped_vrf_miss += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::VrfMiss);
             return;
         };
         pkt.pop_outer();
         self.counters.label_ops += 1;
         let Some(dst) = pkt.outer_ipv4().map(|h| h.dst) else {
             self.counters.dropped_no_route += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
             return;
         };
         self.counters.lpm_lookups += 1;
@@ -439,6 +517,7 @@ impl PeRouter {
         match fib.lookup_cached(dst, egress_cache) {
             Some(&VrfRoute::Local { out_iface }) => {
                 self.counters.forwarded += 1;
+                self.vrfs[vrf].count_forward();
                 if let Some(t) = &self.trace {
                     t.record(
                         ctx.now(),
@@ -452,7 +531,8 @@ impl PeRouter {
             _ => {
                 // A VPN label must terminate at a local site; anything else
                 // is a misdelivery and is dropped (isolation property).
-                self.counters.dropped_no_route += 1;
+                self.counters.dropped_vrf_miss += 1;
+                record_drop(&self.recorder, ctx.now(), &pkt, DropCause::VrfMiss);
             }
         }
     }
@@ -462,6 +542,7 @@ impl PeRouter {
             // Unlabeled traffic from the core is addressed to the PE
             // itself (control plane) in this architecture.
             self.counters.delivered_local += 1;
+            record_absorbed(&self.recorder, &pkt);
             return;
         };
         if self.lfib.lookup(top.label).is_some() {
@@ -481,8 +562,14 @@ impl PeRouter {
                     // this PE) or the VPN label — re-run the split.
                     self.handle_core(pkt, ctx);
                 }
-                LfibVerdict::TtlExpired => self.counters.dropped_ttl += 1,
-                _ => self.counters.dropped_no_route += 1,
+                LfibVerdict::TtlExpired => {
+                    self.counters.dropped_ttl += 1;
+                    record_drop(&self.recorder, ctx.now(), &pkt, DropCause::Ttl);
+                }
+                _ => {
+                    self.counters.dropped_no_route += 1;
+                    record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
+                }
             }
         } else {
             // PHP already removed the tunnel label: top is the VPN label.
@@ -496,7 +583,10 @@ impl Node for PeRouter {
         match self.iface_roles.get(iface.0).copied() {
             Some(PeIfaceRole::Customer { vrf }) => self.handle_customer(iface.0, vrf, pkt, ctx),
             Some(PeIfaceRole::Core) => self.handle_core(pkt, ctx),
-            None => self.counters.dropped_no_route += 1,
+            None => {
+                self.counters.dropped_no_route += 1;
+                record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
+            }
         }
     }
 
@@ -540,6 +630,8 @@ pub struct CeRouter {
     pub counters: RouterCounters,
     /// Optional hop trace.
     pub trace: Option<TraceLog>,
+    /// Optional drop-cause flight recorder (shared with the network's).
+    pub recorder: Option<FlightRecorder>,
 }
 
 impl CeRouter {
@@ -553,6 +645,7 @@ impl CeRouter {
             marking,
             counters: RouterCounters::default(),
             trace: None,
+            recorder: None,
         }
     }
 
@@ -562,12 +655,19 @@ impl CeRouter {
         self
     }
 
+    /// Attaches a drop-cause flight recorder.
+    pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        self.recorder = Some(rec);
+    }
+
     /// Registers a host route: `prefix` lives on local interface `iface`.
     pub fn add_host_route(&mut self, prefix: Prefix, iface: usize) {
         self.local.insert(prefix, iface);
     }
 
-    fn deliver_local(&mut self, dst: Ip, pkt: Pkt, ctx: &mut Ctx) -> bool {
+    /// Delivers to a local host route. Returns the packet back when no
+    /// route exists so the caller owns the drop accounting.
+    fn deliver_local(&mut self, dst: Ip, pkt: Pkt, ctx: &mut Ctx) -> Option<Pkt> {
         self.counters.lpm_lookups += 1;
         if let Some(&out) = self.local.lookup_cached(dst, &mut self.local_cache) {
             self.counters.forwarded += 1;
@@ -575,9 +675,9 @@ impl CeRouter {
                 t.record(ctx.now(), &self.name, format!("deliver → if{out}"), &pkt);
             }
             ctx.send(IfaceId(out), pkt);
-            true
+            None
         } else {
-            false
+            Some(pkt)
         }
     }
 }
@@ -586,28 +686,42 @@ impl Node for CeRouter {
     fn on_packet(&mut self, iface: IfaceId, mut pkt: Pkt, ctx: &mut Ctx) {
         let Some(hdr) = pkt.outer_ipv4_mut() else {
             self.counters.dropped_no_route += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
             return;
         };
         if !hdr.decrement_ttl() {
             self.counters.dropped_ttl += 1;
+            record_drop(&self.recorder, ctx.now(), &pkt, DropCause::Ttl);
             return;
         }
         let dst = hdr.dst;
         if iface.0 == self.uplink {
             // Downstream: from the provider into the site.
-            if !self.deliver_local(dst, pkt, ctx) {
+            if let Some(pkt) = self.deliver_local(dst, pkt, ctx) {
                 self.counters.dropped_no_route += 1;
+                record_drop(&self.recorder, ctx.now(), &pkt, DropCause::NoRoute);
             }
             return;
         }
         // Upstream from a host. Local destinations short-circuit.
         if self.local.lookup(dst).is_some() {
-            let delivered = self.deliver_local(dst, pkt, ctx);
-            debug_assert!(delivered);
+            let undelivered = self.deliver_local(dst, pkt, ctx);
+            debug_assert!(undelivered.is_none());
             return;
         }
-        // CPE classification + marking, then off to the PE.
-        if let Some(policy) = &self.marking {
+        // CPE classification + marking, then off to the PE. SLA probes are
+        // exempt: the probe already carries the DSCP of the class it
+        // measures, and remarking it would fold every probe into one class.
+        if pkt.meta.probe {
+            if let Some(t) = &self.trace {
+                t.record(
+                    ctx.now(),
+                    &self.name,
+                    "uplink (sla probe, marking bypassed)".into(),
+                    &pkt,
+                );
+            }
+        } else if let Some(policy) = &self.marking {
             let mark = policy.mark(&mut pkt);
             if let (Some(t), Some(m)) = (&self.trace, mark) {
                 t.record(ctx.now(), &self.name, format!("classify/mark {m}"), &pkt);
@@ -726,7 +840,9 @@ mod tests {
         pkt.push_outer(Layer::Mpls(MplsLabel::new(999, 0, 64)));
         net.inject(peer, IfaceId(0), pkt);
         net.run_to_quiescence();
-        assert_eq!(net.node_ref::<PeRouter>(pe_id).counters.dropped_no_route, 1);
+        let c = net.node_ref::<PeRouter>(pe_id).counters;
+        assert_eq!(c.dropped_vrf_miss, 1, "unknown VPN label is an isolation drop");
+        assert_eq!(c.dropped_no_route, 0);
     }
 
     #[test]

@@ -8,6 +8,51 @@
 //! the LPM trie.
 
 use netsim_net::{Layer, MplsLabel, Packet};
+use std::cell::{Cell, RefCell};
+
+/// Forwarding-plane counters of one LFIB.
+///
+/// Interior-mutable (`Cell`) so [`Lfib::forward`] keeps its `&self` hot-path
+/// signature: counting must not force exclusive borrows onto every caller.
+#[derive(Clone, Debug, Default)]
+pub struct LfibStats {
+    swaps: Cell<u64>,
+    pops: Cell<u64>,
+    pushes: Cell<u64>,
+    bypass_activations: Cell<u64>,
+}
+
+impl LfibStats {
+    /// Label swap operations applied (including the swap half of
+    /// swap-and-push).
+    pub fn swaps(&self) -> u64 {
+        self.swaps.get()
+    }
+
+    /// Labels popped (PHP and egress pops alike).
+    pub fn pops(&self) -> u64 {
+        self.pops.get()
+    }
+
+    /// Labels pushed (tunnel nesting and fast-reroute bypass wraps).
+    pub fn pushes(&self) -> u64 {
+        self.pushes.get()
+    }
+
+    /// Packets redirected into a fast-reroute bypass tunnel.
+    pub fn bypass_activations(&self) -> u64 {
+        self.bypass_activations.get()
+    }
+
+    /// Accumulates another block's counts into this one — used to carry
+    /// forwarding history across a table replacement on reconvergence.
+    pub fn merge(&self, other: &LfibStats) {
+        self.swaps.set(self.swaps.get() + other.swaps.get());
+        self.pops.set(self.pops.get() + other.pops.get());
+        self.pushes.set(self.pushes.get() + other.pushes.get());
+        self.bypass_activations.set(self.bypass_activations.get() + other.bypass_activations.get());
+    }
+}
 
 /// The label operation of an NHLFE.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -82,6 +127,10 @@ pub struct Lfib {
     /// Whether any interface is down — keeps the hot path to one branch
     /// while the network is healthy.
     any_down: bool,
+    /// Forwarding counters (interior-mutable; see [`LfibStats`]).
+    stats: LfibStats,
+    /// Per-entry hit counts, indexed like `ilm` by incoming label.
+    hits: RefCell<Vec<u64>>,
 }
 
 impl Lfib {
@@ -119,6 +168,17 @@ impl Lfib {
     /// Number of installed ILM entries (per-LSR state metric for T1).
     pub fn len(&self) -> usize {
         self.entries
+    }
+
+    /// The forwarding counters of this table.
+    pub fn stats(&self) -> &LfibStats {
+        &self.stats
+    }
+
+    /// How many packets matched the ILM entry for `in_label` in
+    /// [`Lfib::forward`] (0 for labels never installed or never hit).
+    pub fn entry_hits(&self, in_label: u32) -> u64 {
+        self.hits.borrow().get(in_label as usize).copied().unwrap_or(0)
     }
 
     /// Whether the table is empty.
@@ -196,7 +256,9 @@ impl Lfib {
         };
         for &l in &bypass.push {
             pkt.push_outer(Layer::Mpls(MplsLabel { label: l, exp, ttl }));
+            self.stats.pushes.set(self.stats.pushes.get() + 1);
         }
+        self.stats.bypass_activations.set(self.stats.bypass_activations.get() + 1);
         bypass.out_iface
     }
 
@@ -220,6 +282,14 @@ impl Lfib {
         let Some(nhlfe) = self.lookup(top.label) else {
             return LfibVerdict::NoEntry;
         };
+        {
+            let mut hits = self.hits.borrow_mut();
+            let idx = top.label as usize;
+            if idx >= hits.len() {
+                hits.resize(idx + 1, 0);
+            }
+            hits[idx] += 1;
+        }
         // TTL processing: decrement the top entry; expiry drops the packet.
         let mut top = top;
         if !top.decrement_ttl() {
@@ -230,6 +300,7 @@ impl Lfib {
                 if let Some(Layer::Mpls(l)) = pkt.outer_mut() {
                     *l = MplsLabel { label: out, exp: top.exp, ttl: top.ttl };
                 }
+                self.stats.swaps.set(self.stats.swaps.get() + 1);
                 LfibVerdict::Forward { out_iface: nhlfe.out_iface }
             }
             LabelOp::SwapPush { swap, push } => {
@@ -237,10 +308,13 @@ impl Lfib {
                     *l = MplsLabel { label: swap, exp: top.exp, ttl: top.ttl };
                 }
                 pkt.push_outer(Layer::Mpls(MplsLabel { label: push, exp: top.exp, ttl: top.ttl }));
+                self.stats.swaps.set(self.stats.swaps.get() + 1);
+                self.stats.pushes.set(self.stats.pushes.get() + 1);
                 LfibVerdict::Forward { out_iface: nhlfe.out_iface }
             }
             LabelOp::Pop => {
                 pkt.pop_outer();
+                self.stats.pops.set(self.stats.pops.get() + 1);
                 if pkt.top_label().is_some() {
                     // Propagate the decremented TTL to the exposed entry
                     // (uniform TTL model) and keep forwarding.
@@ -410,6 +484,47 @@ mod tests {
         // Marking an out-of-range iface up is a no-op, not a panic.
         lfib.set_iface_down(1000, false);
         assert!(!lfib.iface_down(1000));
+    }
+
+    #[test]
+    fn stats_count_ops_and_entry_hits() {
+        let mut lfib = Lfib::new();
+        lfib.install(100, Nhlfe { op: LabelOp::Swap(200), out_iface: 3 });
+        lfib.install(77, Nhlfe { op: LabelOp::Pop, out_iface: 2 });
+        lfib.install(10, Nhlfe { op: LabelOp::SwapPush { swap: 11, push: 500 }, out_iface: 1 });
+        for _ in 0..3 {
+            let mut p = labeled(100, 0, 64);
+            lfib.forward(&mut p);
+        }
+        let mut p = labeled(77, 0, 64);
+        lfib.forward(&mut p);
+        let mut p = labeled(10, 0, 64);
+        lfib.forward(&mut p);
+        assert_eq!(lfib.stats().swaps(), 4, "3 plain swaps + the swap half of swap-push");
+        assert_eq!(lfib.stats().pops(), 1);
+        assert_eq!(lfib.stats().pushes(), 1);
+        assert_eq!(lfib.stats().bypass_activations(), 0);
+        assert_eq!(lfib.entry_hits(100), 3);
+        assert_eq!(lfib.entry_hits(77), 1);
+        assert_eq!(lfib.entry_hits(999), 0, "never-installed label has no hits");
+    }
+
+    #[test]
+    fn stats_count_bypass_and_merge_carries_history() {
+        let mut lfib = Lfib::new();
+        lfib.install(100, Nhlfe { op: LabelOp::Swap(200), out_iface: 3 });
+        lfib.install_protection(3, FtnEntry { push: vec![900], out_iface: 7 });
+        lfib.set_iface_down(3, true);
+        let mut p = labeled(100, 0, 64);
+        lfib.forward(&mut p);
+        assert_eq!(lfib.stats().bypass_activations(), 1);
+        assert_eq!(lfib.stats().pushes(), 1, "bypass wrap is a push");
+
+        // Reconvergence replaces the table; merging first keeps history.
+        let fresh = Lfib::new();
+        fresh.stats().merge(lfib.stats());
+        assert_eq!(fresh.stats().swaps(), 1);
+        assert_eq!(fresh.stats().bypass_activations(), 1);
     }
 
     #[test]

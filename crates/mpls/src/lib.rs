@@ -47,4 +47,4 @@ pub mod lfib;
 pub use explicit::{signal_explicit_lsp, ExplicitLsp, LspHop};
 pub use label::LabelSpace;
 pub use ldp::{Fec, LdpConfig, LdpDomain, LdpNodeState};
-pub use lfib::{FtnEntry, LabelOp, Lfib, Nhlfe};
+pub use lfib::{FtnEntry, LabelOp, Lfib, LfibStats, Nhlfe};

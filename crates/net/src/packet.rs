@@ -72,6 +72,11 @@ pub struct PktMeta {
     pub seq: u64,
     /// Simulation time (ns) at which the packet was created.
     pub created_ns: u64,
+    /// Whether this packet belongs to a synthetic SLA probe flow. Probe
+    /// packets must experience the network exactly as data does, except
+    /// that edge marking policies leave their DSCP alone (the probe *is*
+    /// the class being measured).
+    pub probe: bool,
 }
 
 /// A heap-boxed packet: the form in which packets travel through queues,

@@ -1,0 +1,222 @@
+//! The drop-cause flight recorder.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use crate::cause::DropCause;
+
+/// One recorded drop: when, which flow, which sequence number, and why.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DropRecord {
+    /// Simulation time of the drop, ns.
+    pub at: u64,
+    /// Flow id of the dropped packet (0 for unattributed packets).
+    pub flow: u64,
+    /// Per-flow sequence number of the dropped packet.
+    pub seq: u64,
+    /// Why the packet was dropped.
+    pub cause: DropCause,
+}
+
+struct Inner {
+    cap: usize,
+    ring: VecDeque<DropRecord>,
+    totals: [u64; DropCause::COUNT],
+    /// Per-flow per-cause tallies. A `BTreeMap` keeps snapshot iteration
+    /// deterministic across runs.
+    by_flow: BTreeMap<u64, [u64; DropCause::COUNT]>,
+    /// Packets terminated *successfully* at a router's local plane
+    /// (control traffic, PHP egress absorption) — not drops, but tracked
+    /// per flow so conservation closes: sent = delivered + drops + absorbed.
+    absorbed: BTreeMap<u64, u64>,
+}
+
+/// A cloneable, shareable drop recorder.
+///
+/// Cloning shares the underlying state (the [`crate::Counter`] idiom):
+/// the simulation engine and every router hold handles to the same
+/// recorder, and any of them — or the test harness — can read the tallies.
+/// The ring keeps only the most recent `cap` records; the per-cause and
+/// per-flow totals are exact forever.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("FlightRecorder")
+            .field("cap", &inner.cap)
+            .field("recent", &inner.ring.len())
+            .field("totals", &inner.totals)
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(256)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the most recent `cap` drop records.
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            inner: Rc::new(RefCell::new(Inner {
+                cap: cap.max(1),
+                ring: VecDeque::with_capacity(cap.max(1)),
+                totals: [0; DropCause::COUNT],
+                by_flow: BTreeMap::new(),
+                absorbed: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Records one drop.
+    pub fn record(&self, at: u64, flow: u64, seq: u64, cause: DropCause) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.ring.len() == inner.cap {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(DropRecord { at, flow, seq, cause });
+        inner.totals[cause.index()] += 1;
+        inner.by_flow.entry(flow).or_insert([0; DropCause::COUNT])[cause.index()] += 1;
+    }
+
+    /// Records a packet absorbed (delivered locally) at a router — a
+    /// legitimate termination, tallied separately from drops.
+    pub fn record_absorbed(&self, flow: u64) {
+        *self.inner.borrow_mut().absorbed.entry(flow).or_insert(0) += 1;
+    }
+
+    /// Total drops recorded for `cause`.
+    pub fn total(&self, cause: DropCause) -> u64 {
+        self.inner.borrow().totals[cause.index()]
+    }
+
+    /// Per-cause totals, indexed by [`DropCause::index`].
+    pub fn totals(&self) -> [u64; DropCause::COUNT] {
+        self.inner.borrow().totals
+    }
+
+    /// Sum of drops over every cause.
+    pub fn total_drops(&self) -> u64 {
+        self.inner.borrow().totals.iter().sum()
+    }
+
+    /// Per-cause drop counts for one flow.
+    pub fn flow_causes(&self, flow: u64) -> [u64; DropCause::COUNT] {
+        self.inner.borrow().by_flow.get(&flow).copied().unwrap_or([0; DropCause::COUNT])
+    }
+
+    /// Total drops for one flow.
+    pub fn flow_drops(&self, flow: u64) -> u64 {
+        self.flow_causes(flow).iter().sum()
+    }
+
+    /// Packets of `flow` absorbed at a local plane.
+    pub fn absorbed_of(&self, flow: u64) -> u64 {
+        self.inner.borrow().absorbed.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Total absorbed packets over all flows.
+    pub fn absorbed_total(&self) -> u64 {
+        self.inner.borrow().absorbed.values().sum()
+    }
+
+    /// The most recent drop records, oldest first (bounded by the ring
+    /// capacity).
+    pub fn recent(&self) -> Vec<DropRecord> {
+        self.inner.borrow().ring.iter().copied().collect()
+    }
+
+    /// Number of records currently held in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().ring.len()
+    }
+
+    /// Whether nothing has been recorded (ring empty *and* totals zero).
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.ring.is_empty() && inner.totals.iter().all(|&t| t == 0)
+    }
+
+    /// `(cause name, total)` rows for every cause with a nonzero total.
+    pub fn cause_rows(&self) -> Vec<(&'static str, u64)> {
+        let totals = self.totals();
+        DropCause::ALL
+            .iter()
+            .filter_map(|c| {
+                let t = totals[c.index()];
+                (t > 0).then_some((c.as_str(), t))
+            })
+            .collect()
+    }
+
+    /// Resets the ring and every tally.
+    pub fn clear(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.ring.clear();
+        inner.totals = [0; DropCause::COUNT];
+        inner.by_flow.clear();
+        inner.absorbed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = FlightRecorder::new(8);
+        let b = a.clone();
+        a.record(1, 42, 0, DropCause::Ttl);
+        b.record(2, 42, 1, DropCause::NoRoute);
+        assert_eq!(a.total_drops(), 2);
+        assert_eq!(b.flow_drops(42), 2);
+        assert_eq!(a.flow_causes(42)[DropCause::Ttl.index()], 1);
+    }
+
+    #[test]
+    fn ring_is_bounded_but_totals_are_exact() {
+        let r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.record(i, 7, i, DropCause::QueueOverflow);
+        }
+        assert_eq!(r.len(), 4, "ring keeps only the most recent");
+        assert_eq!(r.recent()[0].at, 6, "oldest surviving record");
+        assert_eq!(r.total(DropCause::QueueOverflow), 10, "totals are exact");
+        assert_eq!(r.flow_drops(7), 10);
+    }
+
+    #[test]
+    fn absorbed_is_not_a_drop() {
+        let r = FlightRecorder::new(4);
+        r.record_absorbed(5);
+        r.record_absorbed(5);
+        assert_eq!(r.absorbed_of(5), 2);
+        assert_eq!(r.absorbed_total(), 2);
+        assert_eq!(r.total_drops(), 0);
+    }
+
+    #[test]
+    fn cause_rows_skip_zeroes() {
+        let r = FlightRecorder::new(4);
+        r.record(0, 1, 0, DropCause::RedForced);
+        assert_eq!(r.cause_rows(), vec![("red_forced", 1)]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let r = FlightRecorder::new(4);
+        r.record(0, 1, 0, DropCause::Policer);
+        r.record_absorbed(1);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.absorbed_total(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The log₂-bucketed histogram.
+
+/// A log₂-bucketed histogram of nanosecond durations.
+///
+/// Bucket 0 holds exactly the value 0; bucket `b ≥ 1` holds the values in
+/// `[2^(b-1), 2^b − 1]`. With 65 buckets every `u64` has an exact home —
+/// including the powers of two at the top of the range, which the previous
+/// 64-bucket layout clamped together. Quantiles are therefore accurate to
+/// within a factor of two everywhere, and exact `min`/`max`/`mean` are
+/// tracked on the side.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `64 − leading_zeros`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q ∈ [0,1]`: upper bound of the bucket holding
+    /// the q-th sample, clamped into the observed `[min, max]` range (so
+    /// the bound never exceeds a value that was actually recorded). Exact
+    /// at the recorded max for `q = 1`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).floor() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                // Upper edge of bucket i.
+                let hi = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the bucket boundaries: each power of two opens a new bucket,
+    /// and `2^k − 1` stays in the previous one.
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        for k in 1..64 {
+            let p = 1u64 << k;
+            assert_eq!(bucket_of(p), k + 1, "2^{k} opens bucket {}", k + 1);
+            assert_eq!(bucket_of(p - 1), k, "2^{k}-1 closes bucket {k}");
+        }
+        assert_eq!(bucket_of(u64::MAX), 64, "top bucket holds the largest values");
+    }
+
+    /// The old 64-bucket layout merged everything ≥ 2^62 into one bucket;
+    /// the 65-bucket layout keeps 2^62 and 2^63 distinguishable.
+    #[test]
+    fn top_of_range_values_stay_distinguishable() {
+        let mut h = Histogram::new();
+        h.record(1u64 << 62);
+        h.record(1u64 << 63);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        // One third of the mass is below 2^63: p0 must bound it by the
+        // 2^63−1 bucket edge, not collapse to the max.
+        assert_eq!(h.quantile(0.0), (1u64 << 63) - 1);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    /// The quantile estimate is a true upper bound within a factor of two:
+    /// for any recorded distribution, `value ≤ quantile(q) < 2 × value`
+    /// where `value` is the exact q-th sample.
+    #[test]
+    fn quantile_error_is_bounded_by_a_factor_of_two() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (1..=1000u64).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let exact = samples[((q * samples.len() as f64) as usize).min(samples.len() - 1)];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q}: estimate {est} below exact {exact}");
+            assert!(est < exact * 2, "q={q}: estimate {est} ≥ 2×exact {exact}");
+        }
+    }
+
+    #[test]
+    fn quantile_of_single_value_is_that_value() {
+        let mut h = Histogram::new();
+        h.record(5);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 5);
+        }
+    }
+
+    #[test]
+    fn merge_combines_buckets_exactly() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.quantile(1.0), 1000);
+    }
+}

@@ -1,0 +1,189 @@
+//! The metrics registry: named metrics handed out as typed handles.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::hist::Histogram;
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning shares the underlying cell; incrementing is a `Cell` add — no
+/// lock, no allocation, no name lookup. Resolve the name once at wiring
+/// time with [`MetricsRegistry::counter`], keep the handle on the hot path.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.set(self.0.get() + 1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A gauge handle: a signed value that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Rc<Cell<i64>>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.set(v);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.set(self.0.get() + d);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.get()
+    }
+}
+
+/// A shared histogram handle.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle(Rc<RefCell<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.borrow_mut().record(v);
+    }
+
+    /// Runs `f` with read access to the underlying histogram.
+    pub fn with<T>(&self, f: impl FnOnce(&Histogram) -> T) -> T {
+        f(&self.0.borrow())
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Registration is the cold path (linear name scan, string allocation);
+/// the returned handles are the hot path. Registering the same name twice
+/// returns the *same* underlying metric, so independent wiring sites can
+/// share a series without coordination.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    hists: Vec<(String, HistogramHandle)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if new.
+    pub fn counter(&mut self, name: &str) -> Counter {
+        if let Some((_, c)) = self.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        self.counters.push((name.to_owned(), c.clone()));
+        c
+    }
+
+    /// Returns the gauge registered under `name`, creating it if new.
+    pub fn gauge(&mut self, name: &str) -> Gauge {
+        if let Some((_, g)) = self.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        self.gauges.push((name.to_owned(), g.clone()));
+        g
+    }
+
+    /// Returns the histogram registered under `name`, creating it if new.
+    pub fn histogram(&mut self, name: &str) -> HistogramHandle {
+        if let Some((_, h)) = self.hists.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = HistogramHandle::default();
+        self.hists.push((name.to_owned(), h.clone()));
+        h
+    }
+
+    /// `(name, value)` for every counter, in registration order.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect()
+    }
+
+    /// `(name, value)` for every gauge, in registration order.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        self.gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect()
+    }
+
+    /// Runs `f` over every `(name, histogram)`, in registration order.
+    pub fn for_each_histogram(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (n, h) in &self.hists {
+            h.with(|hist| f(n, hist));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_the_metric() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("pkts");
+        let b = reg.counter("pkts");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.counter_values(), vec![("pkts".to_owned(), 3)]);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        assert_eq!(reg.gauge_values(), vec![("depth".to_owned(), 7)]);
+    }
+
+    #[test]
+    fn histograms_record_through_handles() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("delay");
+        h.record(100);
+        h.record(300);
+        let mut seen = Vec::new();
+        reg.for_each_histogram(|n, hist| seen.push((n.to_owned(), hist.count())));
+        assert_eq!(seen, vec![("delay".to_owned(), 2)]);
+        assert_eq!(h.with(Histogram::max), 300);
+    }
+
+    #[test]
+    fn registration_order_is_stable() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("b");
+        reg.counter("a");
+        let names: Vec<String> = reg.counter_values().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+}

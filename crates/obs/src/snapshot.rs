@@ -1,0 +1,304 @@
+//! Point-in-time metric exports.
+
+use crate::flight::FlightRecorder;
+use crate::hist::Histogram;
+use crate::registry::MetricsRegistry;
+
+/// Summary of one histogram at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean sample, ns.
+    pub mean_ns: f64,
+    /// Median (log₂-bucket upper bound), ns.
+    pub p50_ns: u64,
+    /// 99th percentile (log₂-bucket upper bound), ns.
+    pub p99_ns: u64,
+    /// Largest sample, ns.
+    pub max_ns: u64,
+}
+
+impl HistSummary {
+    /// Summarizes a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistSummary {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.quantile(0.5),
+            p99_ns: h.quantile(0.99),
+            max_ns: h.max(),
+        }
+    }
+}
+
+/// One SLA probe series: measured one-way service of a ⟨VPN, class⟩ pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbeRow {
+    /// VPN the probe runs inside.
+    pub vpn: String,
+    /// Traffic class the probe is marked with (e.g. `EF`, `AF1`, `BE`).
+    pub class: String,
+    /// Probe packets transmitted.
+    pub tx: u64,
+    /// Probe packets delivered.
+    pub rx: u64,
+    /// Mean one-way delay, ns.
+    pub mean_delay_ns: f64,
+    /// 99th-percentile one-way delay, ns.
+    pub p99_delay_ns: u64,
+    /// RFC 3550 interarrival jitter, ns.
+    pub jitter_ns: f64,
+    /// Loss fraction in percent, `100 × (tx − rx) / tx`.
+    pub loss_pct: f64,
+}
+
+/// A point-in-time export of every metric the emulator tracks: registry
+/// counters/gauges/histograms, drop-cause totals, and SLA probe rows.
+///
+/// Serializes to JSON ([`MetricsSnapshot::to_json`]) and CSV
+/// ([`MetricsSnapshot::to_csv`], [`MetricsSnapshot::probes_to_csv`])
+/// without any external dependency, so any example or experiment can dump
+/// its numbers for offline analysis (the R-table workflow in
+/// EXPERIMENTS.md).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Simulation time the snapshot was taken, ns.
+    pub captured_ns: u64,
+    /// `(name, value)` counter rows.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge rows.
+    pub gauges: Vec<(String, i64)>,
+    /// `(cause name, total)` drop rows (nonzero causes only).
+    pub drop_causes: Vec<(String, u64)>,
+    /// `(name, summary)` histogram rows.
+    pub histograms: Vec<(String, HistSummary)>,
+    /// SLA probe measurements.
+    pub probes: Vec<ProbeRow>,
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON-safe number literal.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot stamped at `captured_ns`.
+    pub fn new(captured_ns: u64) -> Self {
+        MetricsSnapshot { captured_ns, ..MetricsSnapshot::default() }
+    }
+
+    /// Adds one counter row.
+    pub fn push_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Copies every metric out of a registry.
+    pub fn merge_registry(&mut self, reg: &MetricsRegistry) {
+        self.counters.extend(reg.counter_values());
+        self.gauges.extend(reg.gauge_values());
+        reg.for_each_histogram(|name, h| {
+            self.histograms.push((name.to_owned(), HistSummary::of(h)));
+        });
+    }
+
+    /// Copies the per-cause drop totals out of a flight recorder.
+    pub fn merge_causes(&mut self, rec: &FlightRecorder) {
+        for (name, total) in rec.cause_rows() {
+            self.drop_causes.push((name.to_owned(), total));
+        }
+    }
+
+    /// Serializes the snapshot as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!("{{\n  \"captured_ns\": {},\n", self.captured_ns));
+        out.push_str("  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", json_escape(n)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", json_escape(n)));
+        }
+        out.push_str("\n  },\n  \"drop_causes\": {");
+        for (i, (n, v)) in self.drop_causes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", json_escape(n)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (n, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {}}}",
+                json_escape(n),
+                h.count,
+                json_f64(h.mean_ns),
+                h.p50_ns,
+                h.p99_ns,
+                h.max_ns
+            ));
+        }
+        out.push_str("\n  },\n  \"probes\": [");
+        for (i, p) in self.probes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"vpn\": \"{}\", \"class\": \"{}\", \"tx\": {}, \"rx\": {}, \
+                 \"mean_delay_ns\": {}, \"p99_delay_ns\": {}, \"jitter_ns\": {}, \
+                 \"loss_pct\": {}}}",
+                json_escape(&p.vpn),
+                json_escape(&p.class),
+                p.tx,
+                p.rx,
+                json_f64(p.mean_delay_ns),
+                p.p99_delay_ns,
+                json_f64(p.jitter_ns),
+                json_f64(p.loss_pct)
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Serializes the scalar metrics (counters, gauges, drop causes) as
+    /// `metric,value` CSV rows. Cause rows are prefixed `drop_cause.`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        out.push_str(&format!("captured_ns,{}\n", self.captured_ns));
+        for (n, v) in &self.counters {
+            out.push_str(&format!("{n},{v}\n"));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!("{n},{v}\n"));
+        }
+        for (n, v) in &self.drop_causes {
+            out.push_str(&format!("drop_cause.{n},{v}\n"));
+        }
+        out
+    }
+
+    /// Serializes the probe rows as a CSV table.
+    pub fn probes_to_csv(&self) -> String {
+        let mut out =
+            String::from("vpn,class,tx,rx,mean_delay_ns,p99_delay_ns,jitter_ns,loss_pct\n");
+        for p in &self.probes {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                p.vpn,
+                p.class,
+                p.tx,
+                p.rx,
+                json_f64(p.mean_delay_ns),
+                p.p99_delay_ns,
+                json_f64(p.jitter_ns),
+                json_f64(p.loss_pct)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DropCause;
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new(42);
+        s.push_counter("link0.tx", 10);
+        s.gauges.push(("queue.depth".to_owned(), -1));
+        let rec = FlightRecorder::new(4);
+        rec.record(1, 7, 0, DropCause::RedEarly);
+        s.merge_causes(&rec);
+        s.probes.push(ProbeRow {
+            vpn: "red".to_owned(),
+            class: "EF".to_owned(),
+            tx: 100,
+            rx: 99,
+            mean_delay_ns: 1500.5,
+            p99_delay_ns: 2047,
+            jitter_ns: 12.25,
+            loss_pct: 1.0,
+        });
+        s
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let j = sample().to_json();
+        assert!(j.contains("\"captured_ns\": 42"));
+        assert!(j.contains("\"link0.tx\": 10"));
+        assert!(j.contains("\"queue.depth\": -1"));
+        assert!(j.contains("\"red_early\": 1"));
+        assert!(j.contains("\"vpn\": \"red\""));
+        assert!(j.contains("\"loss_pct\": 1.000"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn csv_rows_are_flat() {
+        let c = sample().to_csv();
+        assert!(c.starts_with("metric,value\n"));
+        assert!(c.contains("link0.tx,10\n"));
+        assert!(c.contains("drop_cause.red_early,1\n"));
+        let p = sample().probes_to_csv();
+        assert!(p.contains("red,EF,100,99,"));
+    }
+
+    #[test]
+    fn registry_merge_copies_all_metric_kinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("c").add(5);
+        reg.gauge("g").set(3);
+        reg.histogram("h").record(8);
+        let mut s = MetricsSnapshot::new(0);
+        s.merge_registry(&reg);
+        assert_eq!(s.counters, vec![("c".to_owned(), 5)]);
+        assert_eq!(s.gauges, vec![("g".to_owned(), 3)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let mut s = MetricsSnapshot::new(0);
+        s.push_counter("a\"b\\c", 1);
+        let j = s.to_json();
+        assert!(j.contains("a\\\"b\\\\c"));
+    }
+}

@@ -24,6 +24,7 @@
 use std::collections::VecDeque;
 
 use netsim_net::Pkt;
+use netsim_obs::DropCause;
 
 use crate::meter::TokenBucket;
 use crate::queue::{ClassOf, EnqueueOutcome, QueueDiscipline};
@@ -171,7 +172,7 @@ impl QueueDiscipline for HierCbq {
         let sz = pkt.wire_len();
         if node.bytes + sz > node.cfg.cap_bytes {
             node.drops += 1;
-            return EnqueueOutcome::Dropped(pkt);
+            return EnqueueOutcome::Dropped(pkt, DropCause::QueueOverflow);
         }
         node.bytes += sz;
         node.q.as_mut().expect("leaf").push_back(pkt);
@@ -220,17 +221,16 @@ impl QueueDiscipline for HierCbq {
         earliest
     }
 
-    fn purge(&mut self) -> u64 {
-        let mut n = 0;
+    fn purge(&mut self) -> Vec<Pkt> {
+        let mut out = Vec::new();
         for &leaf in &self.leaves {
             let node = &mut self.nodes[leaf];
             if let Some(q) = node.q.as_mut() {
-                n += q.len() as u64;
-                q.clear();
+                out.extend(q.drain(..));
             }
             node.bytes = 0;
         }
-        n
+        out
     }
 }
 

@@ -6,6 +6,7 @@
 //! the bottleneck link.
 
 use netsim_net::{Packet, Pkt};
+use netsim_obs::DropCause;
 
 use crate::Nanos;
 
@@ -14,8 +15,9 @@ use crate::Nanos;
 pub enum EnqueueOutcome {
     /// The packet was accepted.
     Queued,
-    /// The packet was dropped (returned for loss accounting).
-    Dropped(Pkt),
+    /// The packet was dropped; it is returned together with *why* so the
+    /// caller can attribute the loss (flight recorder, per-cause stats).
+    Dropped(Pkt, DropCause),
 }
 
 impl EnqueueOutcome {
@@ -67,12 +69,13 @@ pub trait QueueDiscipline: Send {
     }
 
     /// Discards everything buffered, bypassing any scheduling or shaping
-    /// gates, and returns the number of packets removed. The caller owns
-    /// the loss accounting — e.g. a failing link flushes its egress buffer
-    /// into `LinkStats.dropped`. Per-discipline drop counters (tail/early
-    /// drops) are *not* incremented: a purge is a link event, not a
-    /// buffer-management decision.
-    fn purge(&mut self) -> u64;
+    /// gates, and returns the removed packets. The caller owns the loss
+    /// accounting — e.g. a failing link flushes its egress buffer into
+    /// `LinkStats.dropped` and records each packet with the flight
+    /// recorder. Per-discipline drop counters (tail/early drops) are *not*
+    /// incremented: a purge is a link event, not a buffer-management
+    /// decision.
+    fn purge(&mut self) -> Vec<Pkt>;
 }
 
 /// Maps a packet to a class index for classful disciplines (priority bands,
@@ -124,7 +127,7 @@ impl QueueDiscipline for FifoQueue {
         let sz = pkt.wire_len();
         if self.bytes + sz > self.cap_bytes {
             self.drops += 1;
-            return EnqueueOutcome::Dropped(pkt);
+            return EnqueueOutcome::Dropped(pkt, DropCause::QueueOverflow);
         }
         self.bytes += sz;
         self.q.push_back(pkt);
@@ -149,11 +152,9 @@ impl QueueDiscipline for FifoQueue {
         self.q.front().map(|p| p.wire_len())
     }
 
-    fn purge(&mut self) -> u64 {
-        let n = self.q.len() as u64;
-        self.q.clear();
+    fn purge(&mut self) -> Vec<Pkt> {
         self.bytes = 0;
-        n
+        self.q.drain(..).collect()
     }
 }
 
@@ -188,7 +189,10 @@ mod tests {
         assert!(q.enqueue(pkt(72), 0).is_queued());
         assert!(q.enqueue(pkt(72), 0).is_queued());
         match q.enqueue(pkt(72), 0) {
-            EnqueueOutcome::Dropped(p) => assert_eq!(p.wire_len(), 100),
+            EnqueueOutcome::Dropped(p, cause) => {
+                assert_eq!(p.wire_len(), 100);
+                assert_eq!(cause, DropCause::QueueOverflow);
+            }
             EnqueueOutcome::Queued => panic!("should have tail-dropped"),
         }
         assert_eq!(q.drops(), 1);

@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 
 use netsim_net::Pkt;
+use netsim_obs::DropCause;
 
 use crate::queue::{ClassOf, EnqueueOutcome, QueueDiscipline};
 use crate::Nanos;
@@ -98,15 +99,17 @@ impl RedCore {
         self.avg += EWMA_WEIGHT * (qbytes as f64 - self.avg);
     }
 
-    /// RED drop decision for the current average against `params`.
-    fn should_drop(&mut self, params: &RedParams) -> bool {
+    /// RED drop decision for the current average against `params`:
+    /// `None` to accept, or the cause distinguishing a *forced* drop
+    /// (average at/above `max_th`) from a probabilistic *early* drop.
+    fn should_drop(&mut self, params: &RedParams) -> Option<DropCause> {
         if self.avg < params.min_th_bytes {
             self.count = -1;
-            return false;
+            return None;
         }
         if self.avg >= params.max_th_bytes {
             self.count = 0;
-            return true;
+            return Some(DropCause::RedForced);
         }
         self.count += 1;
         let pb = params.max_p * (self.avg - params.min_th_bytes)
@@ -114,9 +117,9 @@ impl RedCore {
         let pa = pb / (1.0 - (self.count as f64) * pb).max(1e-9);
         if self.rng.next_f64() < pa {
             self.count = 0;
-            true
+            Some(DropCause::RedEarly)
         } else {
-            false
+            None
         }
     }
 
@@ -135,6 +138,7 @@ pub struct RedQueue {
     core: RedCore,
     ecn: bool,
     drops_early: u64,
+    drops_forced: u64,
     drops_tail: u64,
     ce_marks: u64,
 }
@@ -152,6 +156,7 @@ impl RedQueue {
             core: RedCore::new(seed, mean_pkt_time_ns),
             ecn: false,
             drops_early: 0,
+            drops_forced: 0,
             drops_tail: 0,
             ce_marks: 0,
         }
@@ -164,9 +169,16 @@ impl RedQueue {
         self
     }
 
-    /// Early (probabilistic) drops so far.
+    /// RED drops so far (probabilistic early drops *plus* forced drops at
+    /// the max threshold; see [`RedQueue::drops_forced`] for the split).
     pub fn drops_early(&self) -> u64 {
         self.drops_early
+    }
+
+    /// The subset of RED drops that were *forced* — average queue at or
+    /// above `max_th`, where RED degenerates to tail-drop behaviour.
+    pub fn drops_forced(&self) -> u64 {
+        self.drops_forced
     }
 
     /// CE marks applied instead of drops (ECN mode).
@@ -191,9 +203,9 @@ impl QueueDiscipline for RedQueue {
         let sz = pkt.wire_len();
         if self.bytes + sz > self.cap_bytes {
             self.drops_tail += 1;
-            return EnqueueOutcome::Dropped(pkt);
+            return EnqueueOutcome::Dropped(pkt, DropCause::QueueOverflow);
         }
-        if self.core.should_drop(&self.params) {
+        if let Some(cause) = self.core.should_drop(&self.params) {
             let ect = self.ecn && pkt.outer_ipv4().is_some_and(netsim_net::Ipv4Header::is_ect);
             if ect {
                 pkt.outer_ipv4_mut().expect("checked above").set_ce();
@@ -201,7 +213,10 @@ impl QueueDiscipline for RedQueue {
                 // fall through and queue the marked packet
             } else {
                 self.drops_early += 1;
-                return EnqueueOutcome::Dropped(pkt);
+                if cause == DropCause::RedForced {
+                    self.drops_forced += 1;
+                }
+                return EnqueueOutcome::Dropped(pkt, cause);
             }
         }
         self.bytes += sz;
@@ -230,11 +245,9 @@ impl QueueDiscipline for RedQueue {
         self.q.front().map(|p| p.wire_len())
     }
 
-    fn purge(&mut self) -> u64 {
-        let n = self.q.len() as u64;
-        self.q.clear();
+    fn purge(&mut self) -> Vec<Pkt> {
         self.bytes = 0;
-        n
+        self.q.drain(..).collect()
     }
 }
 
@@ -305,13 +318,13 @@ impl QueueDiscipline for WredQueue {
         let sz = pkt.wire_len();
         if self.bytes + sz > self.cap_bytes {
             self.drops_tail += 1;
-            return EnqueueOutcome::Dropped(pkt);
+            return EnqueueOutcome::Dropped(pkt, DropCause::QueueOverflow);
         }
         let class = (self.class_of)(&pkt).min(self.profiles.len() - 1);
         let params = self.profiles[class];
-        if self.core.should_drop(&params) {
+        if let Some(cause) = self.core.should_drop(&params) {
             self.drops_early[class] += 1;
-            return EnqueueOutcome::Dropped(pkt);
+            return EnqueueOutcome::Dropped(pkt, cause);
         }
         self.bytes += sz;
         self.q.push_back(pkt);
@@ -339,11 +352,9 @@ impl QueueDiscipline for WredQueue {
         self.q.front().map(|p| p.wire_len())
     }
 
-    fn purge(&mut self) -> u64 {
-        let n = self.q.len() as u64;
-        self.q.clear();
+    fn purge(&mut self) -> Vec<Pkt> {
         self.bytes = 0;
-        n
+        self.q.drain(..).collect()
     }
 }
 
@@ -386,6 +397,28 @@ mod tests {
         assert!(accepted > 0);
         assert!(q.avg_bytes() > 2000.0, "avg should converge above max_th");
         assert!(q.drops_early() > 1000, "persistent congestion must drop");
+    }
+
+    /// Persistent congestion pushes the average past `max_th`: most drops
+    /// are then *forced*, and the forced tally is a subset of the total.
+    #[test]
+    fn forced_drops_are_distinguished_from_early() {
+        let params = RedParams::new(1000, 2000);
+        let mut q = RedQueue::new(1_000_000, params, 42, 1000);
+        for i in 0..20_000u64 {
+            q.enqueue(pkt(972), i);
+            if q.len_packets() > 10 {
+                q.dequeue(i);
+            }
+        }
+        assert!(q.drops_forced() > 0, "avg above max_th must force drops");
+        assert!(
+            q.drops_early() > q.drops_forced(),
+            "the climb through [min_th, max_th) must also drop probabilistically: \
+             total {} vs forced {}",
+            q.drops_early(),
+            q.drops_forced()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use netsim_net::Pkt;
+use netsim_obs::DropCause;
 
 use crate::meter::TokenBucket;
 use crate::queue::{ClassOf, EnqueueOutcome, QueueDiscipline};
@@ -75,8 +76,8 @@ impl QueueDiscipline for PriorityScheduler {
         self.bands.iter().filter_map(|b| b.next_ready(now)).min()
     }
 
-    fn purge(&mut self) -> u64 {
-        self.bands.iter_mut().map(|b| b.purge()).sum()
+    fn purge(&mut self) -> Vec<Pkt> {
+        self.bands.iter_mut().flat_map(|b| b.purge()).collect()
     }
 }
 
@@ -144,7 +145,7 @@ impl QueueDiscipline for WfqScheduler {
         let sz = pkt.wire_len();
         if c.bytes + sz > c.cap_bytes {
             c.drops += 1;
-            return EnqueueOutcome::Dropped(pkt);
+            return EnqueueOutcome::Dropped(pkt, DropCause::QueueOverflow);
         }
         let start = self.vtime.max(c.last_finish);
         let finish = start + (sz as u128 * VT_SCALE) / c.weight as u128;
@@ -184,16 +185,15 @@ impl QueueDiscipline for WfqScheduler {
         self.classes.iter().map(|c| c.bytes).sum()
     }
 
-    fn purge(&mut self) -> u64 {
-        let mut n = 0;
+    fn purge(&mut self) -> Vec<Pkt> {
+        let mut out = Vec::new();
         for c in &mut self.classes {
-            n += c.q.len() as u64;
-            c.q.clear();
+            out.extend(c.q.drain(..).map(|(_, p)| p));
             c.bytes = 0;
             c.last_finish = 0;
         }
         self.vtime = 0;
-        n
+        out
     }
 }
 
@@ -257,7 +257,7 @@ impl QueueDiscipline for DrrScheduler {
         let sz = pkt.wire_len();
         if c.bytes + sz > c.cap_bytes {
             c.drops += 1;
-            return EnqueueOutcome::Dropped(pkt);
+            return EnqueueOutcome::Dropped(pkt, DropCause::QueueOverflow);
         }
         c.bytes += sz;
         c.q.push_back(pkt);
@@ -309,17 +309,16 @@ impl QueueDiscipline for DrrScheduler {
         self.classes.iter().map(|c| c.bytes).sum()
     }
 
-    fn purge(&mut self) -> u64 {
-        let mut n = 0;
+    fn purge(&mut self) -> Vec<Pkt> {
+        let mut out = Vec::new();
         for c in &mut self.classes {
-            n += c.q.len() as u64;
-            c.q.clear();
+            out.extend(c.q.drain(..));
             c.bytes = 0;
             c.active = false;
             c.deficit = 0;
         }
         self.active.clear();
-        n
+        out
     }
 }
 
@@ -403,7 +402,7 @@ impl QueueDiscipline for CbqScheduler {
         let sz = pkt.wire_len();
         if c.bytes + sz > c.cfg.cap_bytes {
             c.drops += 1;
-            return EnqueueOutcome::Dropped(pkt);
+            return EnqueueOutcome::Dropped(pkt, DropCause::QueueOverflow);
         }
         c.bytes += sz;
         c.q.push_back(pkt);
@@ -470,14 +469,13 @@ impl QueueDiscipline for CbqScheduler {
         earliest
     }
 
-    fn purge(&mut self) -> u64 {
-        let mut n = 0;
+    fn purge(&mut self) -> Vec<Pkt> {
+        let mut out = Vec::new();
         for c in &mut self.classes {
-            n += c.q.len() as u64;
-            c.q.clear();
+            out.extend(c.q.drain(..));
             c.bytes = 0;
         }
-        n
+        out
     }
 }
 

@@ -76,7 +76,7 @@ impl QueueDiscipline for ShapedQueue {
         Some(now + wait.max(1))
     }
 
-    fn purge(&mut self) -> u64 {
+    fn purge(&mut self) -> Vec<Pkt> {
         self.child.purge()
     }
 }

@@ -60,7 +60,7 @@ fn check_conservation(mut q: Box<dyn QueueDiscipline>, ops: &[Op]) {
                 enq += 1;
                 match q.enqueue(p, now) {
                     EnqueueOutcome::Queued => bytes_in += sz,
-                    EnqueueOutcome::Dropped(_) => dropped += 1,
+                    EnqueueOutcome::Dropped(..) => dropped += 1,
                 }
             }
             Op::Deq => {

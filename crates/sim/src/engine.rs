@@ -1,6 +1,7 @@
 //! The event calendar, link model and [`Network`] container.
 
 use netsim_net::Pkt;
+use netsim_obs::{DropCause, FlightRecorder};
 use netsim_qos::{EnqueueOutcome, FifoQueue, Nanos, QueueDiscipline, TxCost};
 
 use crate::calendar::TimingWheel;
@@ -47,6 +48,11 @@ pub struct LinkStats {
     pub dropped: u64,
     /// Nanoseconds the transmitter was busy (utilization = busy / elapsed).
     pub busy_ns: Nanos,
+    /// Transmitted packets broken down by wire class (MPLS EXP of the top
+    /// label, or IP precedence when unlabeled).
+    pub tx_by_class: [u64; 8],
+    /// Dropped packets broken down the same way.
+    pub dropped_by_class: [u64; 8],
 }
 
 impl LinkStats {
@@ -57,6 +63,17 @@ impl LinkStats {
         } else {
             self.busy_ns as f64 / elapsed as f64
         }
+    }
+}
+
+/// The 3-bit wire class a queue drop or transmission is attributed to:
+/// the MPLS EXP bits of the top label inside the core, or the IP
+/// precedence (DSCP >> 3) at the unlabeled edge — the same fold every
+/// EXP-classifying discipline applies.
+fn wire_class(pkt: &Pkt) -> usize {
+    match pkt.top_label() {
+        Some(l) => (l.exp & 0x7) as usize,
+        None => pkt.dscp().map_or(0, |d| (d.value() >> 3) as usize),
     }
 }
 
@@ -115,6 +132,10 @@ pub struct Network {
     /// Reusable [`Action`] buffer handed to each dispatched [`Ctx`], so node
     /// handlers don't allocate per event.
     scratch: Vec<Action>,
+    /// Optional drop-cause flight recorder. When attached, every packet the
+    /// link layer discards (egress refusal, AQM, purge on failure) lands
+    /// here with its cause; `None` keeps the hot path to a single branch.
+    recorder: Option<FlightRecorder>,
 }
 
 impl Default for Network {
@@ -135,7 +156,19 @@ impl Network {
             seq: 0,
             events_processed: 0,
             scratch: Vec::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a drop-cause flight recorder. The recorder is a shared
+    /// handle: clone it before attaching to keep a reader on the outside.
+    pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        self.recorder = Some(rec);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
     }
 
     /// Current simulation time.
@@ -251,8 +284,15 @@ impl Network {
     /// direction's [`LinkStats::dropped`] so mid-run swaps don't corrupt
     /// loss accounting.
     pub fn set_qdisc(&mut self, link: LinkId, dir: u8, qdisc: Box<dyn QueueDiscipline>) {
+        let now = self.now;
         let d = &mut self.links[link.0].dirs[dir as usize];
-        d.stats.dropped += d.qdisc.len_packets() as u64;
+        for pkt in d.qdisc.purge() {
+            d.stats.dropped += 1;
+            d.stats.dropped_by_class[wire_class(&pkt)] += 1;
+            if let Some(rec) = &self.recorder {
+                rec.record(now, pkt.meta.flow, pkt.meta.seq, DropCause::LinkDownPurge);
+            }
+        }
         d.qdisc = qdisc;
     }
 
@@ -284,7 +324,13 @@ impl Network {
                 // A cut link loses whatever its egress buffer holds; count
                 // the flush so conservation (delivered + dropped + in-flight
                 // == sent) survives any failure schedule.
-                d.stats.dropped += d.qdisc.purge();
+                for pkt in d.qdisc.purge() {
+                    d.stats.dropped += 1;
+                    d.stats.dropped_by_class[wire_class(&pkt)] += 1;
+                    if let Some(rec) = &self.recorder {
+                        rec.record(now, pkt.meta.flow, pkt.meta.seq, DropCause::LinkDownPurge);
+                    }
+                }
             }
         }
         // Kick idle transmitters in case traffic queued while down.
@@ -411,12 +457,20 @@ impl Network {
         if !d.enabled {
             // Interface is down: the packet is lost on the floor.
             d.stats.dropped += 1;
+            d.stats.dropped_by_class[wire_class(&pkt)] += 1;
+            if let Some(rec) = &self.recorder {
+                rec.record(self.now, pkt.meta.flow, pkt.meta.seq, DropCause::LinkDownPurge);
+            }
             return;
         }
         match d.qdisc.enqueue(pkt, self.now) {
             EnqueueOutcome::Queued => {}
-            EnqueueOutcome::Dropped(_) => {
+            EnqueueOutcome::Dropped(pkt, cause) => {
                 d.stats.dropped += 1;
+                d.stats.dropped_by_class[wire_class(&pkt)] += 1;
+                if let Some(rec) = &self.recorder {
+                    rec.record(self.now, pkt.meta.flow, pkt.meta.seq, cause);
+                }
                 return;
             }
         }
@@ -463,6 +517,7 @@ impl Network {
                 d.stats.tx_packets += 1;
                 d.stats.tx_bytes += bytes as u64;
                 d.stats.busy_ns += tx;
+                d.stats.tx_by_class[wire_class(&pkt)] += 1;
                 let arrive = now + tx + d.delay_ns;
                 let dst_node = d.dst_node;
                 let dst_iface = d.dst_iface;

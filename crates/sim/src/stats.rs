@@ -1,106 +1,12 @@
 //! Measurement machinery: histograms and per-flow statistics.
+//!
+//! The histogram type itself lives in `netsim-obs` so the registry, the
+//! flow sinks and the SLA probes all share one implementation (and one set
+//! of bucket-boundary tests); it is re-exported here for compatibility.
 
 use netsim_qos::Nanos;
 
-/// A log₂-bucketed histogram of nanosecond durations.
-///
-/// Buckets double in width, so quantiles are accurate to within a factor of
-/// two at the tails and the structure costs a fixed 64 counters — cheap
-/// enough to keep one per flow. Exact `min`/`max`/`mean` are tracked on the
-/// side.
-#[derive(Clone, Debug)]
-pub struct Histogram {
-    buckets: [u64; 64],
-    count: u64,
-    sum: u128,
-    min: Nanos,
-    max: Nanos,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Histogram { buckets: [0; 64], count: 0, sum: 0, min: Nanos::MAX, max: 0 }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, v: Nanos) {
-        let b = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
-        self.buckets[b.min(63)] += 1;
-        self.count += 1;
-        self.sum += u128::from(v);
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of all samples (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Smallest sample (0 when empty).
-    pub fn min(&self) -> Nanos {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Largest sample.
-    pub fn max(&self) -> Nanos {
-        self.max
-    }
-
-    /// Approximate quantile `q ∈ [0,1]`: upper bound of the bucket holding
-    /// the q-th sample. Exact at the recorded max for `q = 1`.
-    pub fn quantile(&self, q: f64) -> Nanos {
-        if self.count == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        if q >= 1.0 {
-            return self.max;
-        }
-        let target = (q * self.count as f64).floor() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen > target {
-                // Upper edge of bucket i, clamped into the observed range.
-                let hi: Nanos = if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
-                return hi.clamp(self.min, self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-}
+pub use netsim_obs::Histogram;
 
 /// Receiver-side statistics of one flow, as accumulated by
 /// [`crate::traffic::Sink`].

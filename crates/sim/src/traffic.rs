@@ -37,6 +37,10 @@ pub struct SourceConfig {
     pub payload: usize,
     /// Local interface to emit on.
     pub iface: IfaceId,
+    /// Stamp emitted packets as synthetic SLA probes: they traverse the
+    /// network exactly like data, but edge marking leaves their DSCP alone
+    /// (the probe *is* the class under measurement).
+    pub probe: bool,
 }
 
 impl SourceConfig {
@@ -52,6 +56,7 @@ impl SourceConfig {
             dscp: Dscp::BE,
             payload,
             iface: IfaceId(0),
+            probe: false,
         }
     }
 
@@ -73,6 +78,12 @@ impl SourceConfig {
         self
     }
 
+    /// Marks the flow as a synthetic SLA probe.
+    pub fn as_probe(mut self) -> Self {
+        self.probe = true;
+        self
+    }
+
     fn make_packet(&self, seq: u64, now: Nanos) -> Packet {
         let mut p = if self.tcp {
             Packet::tcp(
@@ -90,6 +101,7 @@ impl SourceConfig {
         p.meta.flow = self.flow;
         p.meta.seq = seq;
         p.meta.created_ns = now;
+        p.meta.probe = self.probe;
         p
     }
 }

@@ -84,6 +84,27 @@ struct Trunk {
     backups: Vec<BackupRoute>,
 }
 
+/// Control-plane counters of one [`TeDomain`]: how often admission,
+/// preemption, protection and re-optimization actually fired. Exported into
+/// the observability snapshot so an experiment can report signalling churn
+/// next to the data-plane numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TeStats {
+    /// Trunks admitted (successful [`TeDomain::signal`] calls, including
+    /// re-placements during re-optimization).
+    pub admitted: u64,
+    /// Signalling attempts rejected (no feasible path / bad or full
+    /// explicit path).
+    pub rejected: u64,
+    /// Trunks torn down to make room for higher-priority arrivals.
+    pub preempted: u64,
+    /// Re-optimization passes run.
+    pub reoptimized: u64,
+    /// Links for which [`TeDomain::protect_trunk`] found a risk-disjoint
+    /// bypass, cumulative.
+    pub protected_links: u64,
+}
+
 /// The TE bandwidth broker for one backbone.
 pub struct TeDomain {
     topo: Topology,
@@ -91,6 +112,7 @@ pub struct TeDomain {
     reserved: Vec<[u64; PRIORITIES]>,
     trunks: Vec<Option<Trunk>>,
     srlg: SrlgMap,
+    stats: TeStats,
 }
 
 impl TeDomain {
@@ -103,7 +125,13 @@ impl TeDomain {
             reserved: vec![[0; PRIORITIES]; links],
             trunks: Vec::new(),
             srlg: SrlgMap::new(links),
+            stats: TeStats::default(),
         }
+    }
+
+    /// Signalling counters accumulated so far.
+    pub fn stats(&self) -> TeStats {
+        self.stats
     }
 
     /// Declares that `link` belongs to shared-risk group `group`; backup
@@ -184,14 +212,23 @@ impl TeDomain {
         );
         let path = match &req.explicit_path {
             Some(p) => {
-                self.validate_explicit(p, req.demand_bps, req.setup_priority)?;
+                if let Err(e) = self.validate_explicit(p, req.demand_bps, req.setup_priority) {
+                    self.stats.rejected += 1;
+                    return Err(e);
+                }
                 p.clone()
             }
             None => {
                 let prio = req.setup_priority;
                 let demand = req.demand_bps;
                 let usable = |l: usize| self.available_bps(l, prio) >= demand;
-                cspf_path(&self.topo, req.src, req.dst, &usable).ok_or(TeError::NoFeasiblePath)?
+                match cspf_path(&self.topo, req.src, req.dst, &usable) {
+                    Some(p) => p,
+                    None => {
+                        self.stats.rejected += 1;
+                        return Err(TeError::NoFeasiblePath);
+                    }
+                }
             }
         };
         let links = self.links_of(&path);
@@ -217,6 +254,8 @@ impl TeDomain {
         }
         let id = TrunkId(self.trunks.len());
         self.trunks.push(Some(Trunk { req, path, links, backups: Vec::new() }));
+        self.stats.admitted += 1;
+        self.stats.preempted += preempted.len() as u64;
         Ok((id, preempted))
     }
 
@@ -246,6 +285,7 @@ impl TeDomain {
         }
         let n = backups.len();
         self.trunks[id.0].as_mut().expect("checked above").backups = backups;
+        self.stats.protected_links += n as u64;
         n
     }
 
@@ -283,6 +323,7 @@ impl TeDomain {
     /// drops any fast-reroute backups (the primary may have moved); call
     /// [`TeDomain::protect_trunk`] again afterwards.
     pub fn reoptimize(&mut self) -> Vec<TrunkId> {
+        self.stats.reoptimized += 1;
         let ids: Vec<TrunkId> =
             (0..self.trunks.len()).filter(|&i| self.trunks[i].is_some()).map(TrunkId).collect();
         let mut failed = Vec::new();
@@ -477,6 +518,28 @@ mod tests {
         assert!(!te.backups(a).is_empty());
         assert!(te.reoptimize().is_empty());
         assert!(te.backups(a).is_empty(), "protection must be recomputed after reopt");
+    }
+
+    #[test]
+    fn stats_track_signalling_outcomes() {
+        let mut te = TeDomain::new(fish());
+        te.signal(TrunkRequest::new(0, 4, 9_000_000).priority(7)).unwrap();
+        te.signal(TrunkRequest::new(0, 4, 9_000_000).priority(7)).unwrap();
+        assert_eq!(
+            te.signal(TrunkRequest::new(0, 4, 5_000_000).priority(7)),
+            Err(TeError::NoFeasiblePath)
+        );
+        let (high, pre) = te.signal(TrunkRequest::new(0, 4, 9_000_000).priority(0)).unwrap();
+        assert_eq!(pre.len(), 1);
+        te.protect_trunk(high);
+        te.reoptimize();
+        let s = te.stats();
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.preempted, 1);
+        assert_eq!(s.reoptimized, 1);
+        assert!(s.protected_links >= 1);
+        // 3 direct admissions + the re-placements reoptimize performed.
+        assert!(s.admitted >= 3, "admitted={}", s.admitted);
     }
 
     #[test]

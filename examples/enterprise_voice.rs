@@ -46,6 +46,13 @@ fn main() {
     pn.verify().assert_clean("enterprise voice backbone");
     let sink = pn.attach_sink(branch, "10.2.0.0/16".parse().unwrap());
 
+    // SLA probes: one synthetic low-rate flow per sold class. Probes keep
+    // their own marking through the CPE, so each one measures exactly the
+    // service tier it is stamped with.
+    for dscp in [Dscp::EF, Dscp::AF41, Dscp::AF21, Dscp::BE] {
+        pn.attach_sla_probe(hq, branch, dscp, 25 * MSEC, Some(5 * SEC / (25 * MSEC)));
+    }
+
     // The application mix, all sent unmarked — the CPE does the marking.
     let hq_block = pn.sites[hq.0].prefix;
     let branch_block = pn.sites[branch.0].prefix;
@@ -102,4 +109,31 @@ fn main() {
     let report = Sla::voice().evaluate(voice, horizon / (20 * MSEC));
     println!("\nvoice SLA: {report}");
     assert!(report.met, "voice must survive the bulk overload");
+
+    // The provider-side view: the per-⟨VPN, class⟩ SLA probe table from
+    // the metrics snapshot, then where every lost packet went.
+    let snap = pn.metrics_snapshot();
+    println!(
+        "\n{:<12} {:<6} {:>6} {:>6} {:>9} {:>9} {:>10} {:>8}",
+        "vpn", "class", "tx", "rx", "mean ms", "p99 ms", "jitter ms", "loss %"
+    );
+    for p in &snap.probes {
+        println!(
+            "{:<12} {:<6} {:>6} {:>6} {:>9.2} {:>9.2} {:>10.3} {:>8.2}",
+            p.vpn,
+            p.class,
+            p.tx,
+            p.rx,
+            p.mean_delay_ns / 1e6,
+            p.p99_delay_ns as f64 / 1e6,
+            p.jitter_ns / 1e6,
+            p.loss_pct
+        );
+    }
+    println!("\ndrop causes:");
+    for (cause, n) in &snap.drop_causes {
+        println!("  {cause:<16} {n}");
+    }
+    let ef = snap.probes.iter().find(|p| p.class == "EF").expect("EF probe row");
+    assert!(ef.rx > 0 && ef.loss_pct < 1.0, "the EF probe must ride out the overload");
 }

@@ -110,7 +110,7 @@ fn router_terminations(s: &mut Scenario) -> (u64, u64) {
     let mut dropped = 0;
     let mut local = 0;
     let mut tally = |c: &mplsvpn::vpn::router::RouterCounters| {
-        dropped += c.dropped_no_route + c.dropped_ttl + c.dropped_policer;
+        dropped += c.dropped_no_route + c.dropped_ttl + c.dropped_policer + c.dropped_vrf_miss;
         local += c.delivered_local;
     };
     for u in 0..s.pn.topo.node_count() {
@@ -160,6 +160,61 @@ fn chaos_packet_conservation_holds_under_any_failure_order() {
         );
         assert!(sent > 0, "seed {seed} generated no traffic");
         assert!(delivered > 0, "seed {seed} delivered nothing — network dead");
+    }
+}
+
+#[test]
+fn chaos_every_loss_has_a_recorded_cause() {
+    // 4. **Attribution** — the flight recorder's per-cause totals agree
+    //    with the raw drop counters, and per VPN every packet a source
+    //    emitted is delivered, attributed to a cause, absorbed locally,
+    //    or still queued. No loss may go unexplained.
+    for seed in 0..8 {
+        let mut s = run_scenario(seed);
+        let link_dropped: u64 = (0..s.pn.net.link_count())
+            .flat_map(|l| (0..2).map(move |d| (l, d)))
+            .map(|(l, d)| s.pn.net.link_stats(LinkId(l), d).dropped)
+            .sum();
+        let (router_dropped, _local) = router_terminations(&mut s);
+        let rec = s.pn.recorder().clone();
+        assert_eq!(
+            rec.total_drops(),
+            link_dropped + router_dropped,
+            "recorder disagrees with raw drop counters at seed {seed}: {:?}",
+            rec.cause_rows()
+        );
+
+        let mut explained_deficit = 0u64;
+        for (v, (sink_node, ids)) in s.sinks.iter().enumerate() {
+            let sink = s.pn.net.node_ref::<Sink>(*sink_node);
+            for (j, &flow) in ids.iter().enumerate() {
+                let (src_node, cbr) = s.sources[2 * v + j];
+                let sent = if cbr {
+                    s.pn.net.node_ref::<CbrSource>(src_node).tx.tx_packets
+                } else {
+                    s.pn.net.node_ref::<PoissonSource>(src_node).tx.tx_packets
+                };
+                let rx = sink.flow(flow).map_or(0, |f| f.rx_packets);
+                let attributed = rec.flow_drops(flow) + rec.absorbed_of(flow);
+                let deficit = (sent - rx).checked_sub(attributed).unwrap_or_else(|| {
+                    panic!(
+                        "flow {flow} over-attributed at seed {seed}: sent={sent} rx={rx} \
+                         causes={:?} absorbed={}",
+                        rec.flow_causes(flow),
+                        rec.absorbed_of(flow)
+                    )
+                });
+                explained_deficit += deficit;
+            }
+        }
+        // Whatever is not delivered, dropped-with-cause, or absorbed must
+        // still be sitting in a queue when the clock stops.
+        assert_eq!(
+            explained_deficit,
+            s.pn.net.queued_packets(),
+            "unexplained losses at seed {seed}: {:?}",
+            rec.cause_rows()
+        );
     }
 }
 
