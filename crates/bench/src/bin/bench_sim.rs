@@ -8,6 +8,9 @@
 //! * `vpn_path_diffserv` — DiffServ (priority + RED) core, same flow.
 //! * `diffserv_congested_mix` — 2× overloaded bottleneck, EF + AF31 + BE
 //!   mix (exercises drops, RED and the priority scheduler per event).
+//! * `control_inband_joins` — in-band control plane under membership
+//!   churn on a full-mesh backbone: the packets here are MP-BGP/LDP/IGP
+//!   messages, so `pps` tracks the cost of the control-message path.
 //!
 //! Only the event loop is timed; topology construction and control-plane
 //! convergence are excluded. All workloads are CBR and seeded, so the
@@ -131,6 +134,44 @@ fn congested_mix(packets: u64) -> Scenario {
     }
 }
 
+/// In-band control-plane churn: round-robin site joins on a full-mesh
+/// backbone. Every "packet" in this scenario is a control message —
+/// MP-BGP updates fanning out per join, plus the LDP/IGP bring-up — so
+/// the reported rate prices the control-message path itself.
+fn control_inband_joins(_packets: u64) -> Scenario {
+    let n = 6;
+    let topo = netsim_routing::Topology::full_mesh(
+        n,
+        netsim_routing::LinkAttrs { cost: 1, capacity_bps: 1_000_000_000 },
+    );
+    let mut pn = BackboneBuilder::new(topo, (0..n).collect())
+        .control_mode(mplsvpn_core::ControlMode::InBand)
+        .build();
+    let vpn = pn.new_vpn("churn");
+    // Pinned independent of `packets`: the per-run bring-up cost would
+    // otherwise make quick-mode pps incomparable to the tracked full-run
+    // baseline (the --check floor is a ratio of the two).
+    let joins: u64 = 40;
+    let start = Instant::now();
+    for i in 0..joins {
+        let pe = (i as usize) % n;
+        pn.add_site(vpn, pe, mplsvpn_core::membership::site_prefix(i as usize), None);
+        pn.run_for(5_000_000); // 5 ms: one-hop propagation on the mesh
+    }
+    pn.run_to_quiescence();
+    let wall_ns = start.elapsed().as_nanos();
+    let stats = pn.control_stats().expect("in-band network exposes control stats");
+    assert!(stats.pkts_terminated > 0, "control joins: no messages processed");
+    assert_eq!(stats.pkts_sent, stats.pkts_terminated, "all control messages must land");
+    Scenario {
+        name: "control_inband_joins",
+        offered: stats.pkts_sent,
+        delivered: stats.pkts_terminated,
+        events: pn.net.events_processed(),
+        wall_ns,
+    }
+}
+
 fn render_json(scenarios: &[Scenario], packets: u64) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -235,6 +276,7 @@ fn main() -> ExitCode {
             )
         }),
         best_of(repeat, || congested_mix(packets)),
+        best_of(repeat, || control_inband_joins(packets)),
     ];
     for s in &scenarios {
         println!(

@@ -15,10 +15,10 @@
 //! voice SLA.
 
 use mplsvpn_core::network::DsSched;
-use mplsvpn_core::{BackboneBuilder, CoreQos, FailoverMode, MetricsSnapshot, Sla};
+use mplsvpn_core::{BackboneBuilder, ControlMode, CoreQos, FailoverMode, MetricsSnapshot, Sla};
 use netsim_net::addr::pfx;
 use netsim_qos::Nanos;
-use netsim_sim::{FaultAction, FaultEvent, FaultPlan, Sink, MSEC, SEC};
+use netsim_sim::{FaultAction, FaultEvent, FaultPlan, LinkId, Sink, MSEC, SEC};
 use netsim_te::SrlgMap;
 
 use crate::report::ExpReport;
@@ -56,6 +56,13 @@ pub struct FailoverResult {
     pub reconvergences: u64,
     /// IGP + LDP messages spent on reconvergence (0 under FRR).
     pub control_messages: u64,
+    /// Worst LSA propagation+processing latency of the in-band control
+    /// plane, ns (0 in oracle arms — the oracle converges out of band,
+    /// in zero simulated time).
+    pub ctrl_propagation_ns: Nanos,
+    /// CS6 control packets that crossed backbone links (EXP 6 in the
+    /// per-class link counters; 0 in oracle arms).
+    pub cs6_control_packets: u64,
 }
 
 /// Runs the cut/repair cycle under `mode` with the given detection delay.
@@ -112,9 +119,68 @@ pub fn measure_full(mode: FailoverMode, detection_ns: Nanos) -> (FailoverResult,
         switchovers: out.switchovers,
         reconvergences: out.reconvergences,
         control_messages: out.control_messages,
+        ctrl_propagation_ns: 0,
+        cs6_control_packets: 0,
     };
     let snap = pn.metrics_snapshot();
     (result, snap)
+}
+
+/// Runs the same cut/repair cycle with the *in-band* control plane: no
+/// oracle reconvergence ever runs — the failure is flooded as CS6 LSA
+/// packets through the same (congested, Q1-mix) links the voice rides,
+/// and routers repair their own FIB/LFIB state incrementally. The loss
+/// window therefore includes a nonzero propagation component, and the
+/// control traffic itself is visible in the per-class link counters.
+pub fn measure_inband(detection_ns: Nanos) -> FailoverResult {
+    let (t, pes) = topo::fish(10);
+    let mut pn = BackboneBuilder::new(t, pes)
+        .core_qos(CoreQos::DiffServ { cap_bytes: 256 * 1024, sched: DsSched::Priority })
+        .detection(detection_ns)
+        .control_mode(ControlMode::InBand)
+        .build();
+    let vpn = pn.new_vpn("acme");
+    let a = pn.add_site(vpn, 0, pfx("10.1.0.0/16"), None);
+    let b = pn.add_site(vpn, 1, pfx("10.2.0.0/16"), None);
+    let sink = pn.attach_sink(b, pfx("10.2.0.0/16"));
+    let flows = mix::attach_mix_provider(&mut pn, a, b, 1, SEED, RUN_SECS * SEC);
+    pn.verify().assert_clean("failover experiment, pre-cut (in-band)");
+
+    let plan = FaultPlan::new(vec![
+        FaultEvent { at: CUT_AT, link: topo::FISH_SHORT[1], action: FaultAction::Cut },
+        FaultEvent { at: REPAIR_AT, link: topo::FISH_SHORT[1], action: FaultAction::Repair },
+    ]);
+    let out = pn.execute_fault_plan(&plan, FailoverMode::GlobalReconverge, (RUN_SECS + 1) * SEC);
+
+    let sla = Sla::backbone_voice();
+    let (mut voice_tx, mut voice_lost, mut sla_violations) = (0, 0, 0);
+    for f in flows.iter().filter(|f| f.class == "EF") {
+        let tx = mix::tx_packets(&pn.net, f);
+        let stats = pn.net.node_ref::<Sink>(sink).flow(f.id).expect("voice flow reached sink");
+        voice_tx += tx;
+        voice_lost += tx - stats.rx_packets;
+        if !sla.evaluate(stats, tx).met {
+            sla_violations += 1;
+        }
+    }
+    let ctrl = pn.control_stats().expect("in-band network exposes control stats");
+    let cs6_control_packets: u64 = (0..pn.topo.link_count())
+        .flat_map(|l| (0..2u8).map(move |d| (l, d)))
+        .map(|(l, d)| pn.net.link_stats(LinkId(l), d).tx_by_class[6])
+        .sum();
+    FailoverResult {
+        mode: FailoverMode::GlobalReconverge,
+        detection_ns,
+        voice_tx,
+        voice_lost,
+        loss_window_ns: voice_lost * 2_500_000,
+        sla_violations,
+        switchovers: out.switchovers,
+        reconvergences: out.reconvergences,
+        control_messages: ctrl.pkts_sent,
+        ctrl_propagation_ns: pn.control_convergence_ns().map_or(0, |(_, _, max)| max),
+        cs6_control_packets,
+    }
 }
 
 /// Detection delay used for the FRR rows: ~3 missed BFD hellos.
@@ -135,16 +201,11 @@ pub fn run(_quick: bool) -> String {
             "switchovers",
             "reconvergences",
             "control msgs",
+            "ctrl prop ms",
+            "CS6 pkts",
         ],
     );
-    for (mode, detect) in
-        [(FailoverMode::GlobalReconverge, IGP_DETECT), (FailoverMode::FastReroute, FRR_DETECT)]
-    {
-        let r = measure(mode, detect);
-        let name = match mode {
-            FailoverMode::GlobalReconverge => "global reconvergence",
-            FailoverMode::FastReroute => "fast reroute",
-        };
+    let mut row = |name: &str, r: &FailoverResult| {
         t.row(&[
             name.to_string(),
             ms(r.detection_ns),
@@ -154,8 +215,13 @@ pub fn run(_quick: bool) -> String {
             r.switchovers.to_string(),
             r.reconvergences.to_string(),
             r.control_messages.to_string(),
+            ms(r.ctrl_propagation_ns),
+            r.cs6_control_packets.to_string(),
         ]);
-    }
+    };
+    row("global reconvergence (oracle)", &measure(FailoverMode::GlobalReconverge, IGP_DETECT));
+    row("global reconvergence (in-band)", &measure_inband(IGP_DETECT));
+    row("fast reroute", &measure(FailoverMode::FastReroute, FRR_DETECT));
     t.render()
 }
 
@@ -215,6 +281,28 @@ mod tests {
             .map(|&(_, v)| v)
             .sum();
         assert!(bypassed > 0, "protected traffic must show in LFIB stats");
+    }
+
+    /// The in-band arm pays a real, measurable propagation cost: its
+    /// convergence latency is nonzero simulated time, and the LSA/LDP
+    /// traffic that drove it is observable as CS6 (EXP 6) packets in the
+    /// per-class link counters — riding the same queues as the voice.
+    #[test]
+    fn inband_reconvergence_has_nonzero_propagation_and_visible_cs6() {
+        let r = measure_inband(IGP_DETECT);
+        assert_eq!(r.reconvergences, 0, "the oracle must never run in-band: {r:?}");
+        assert!(r.ctrl_propagation_ns > 0, "convergence takes wire time: {r:?}");
+        assert!(r.cs6_control_packets > 0, "control traffic rides EXP 6: {r:?}");
+        assert!(r.control_messages >= r.cs6_control_packets);
+        assert!(r.voice_lost > 0, "the blind window still hurts: {r:?}");
+        // The network did recover: the repair restored the short path and
+        // most of the 8 s call got through.
+        assert!(r.voice_lost * 4 < r.voice_tx, "recovery happened: {r:?}");
+    }
+
+    #[test]
+    fn inband_runs_are_seed_deterministic() {
+        assert_eq!(measure_inband(IGP_DETECT), measure_inband(IGP_DETECT));
     }
 
     #[test]

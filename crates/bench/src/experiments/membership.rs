@@ -4,8 +4,16 @@
 //! need to be known by all remaining members." The MPLS/BGP model pays one
 //! PE touch and one route-update fan-out per join; the overlay model pays
 //! N−1 new circuit pairs, provisioned device by device.
+//!
+//! Two extra columns drive the same joins through a *running* backbone
+//! ([`backbone_join_series`]): the per-join cost of the in-band MP-BGP
+//! delta (update packets on the wire — flat) vs the oracle's full-table
+//! resync (route installs — grows with the table).
 
-use mplsvpn_core::membership::{mpls_join_series, overlay_join_series, JoinCost};
+use mplsvpn_core::membership::{
+    backbone_join_series, mpls_join_series, overlay_join_series, JoinCost,
+};
+use mplsvpn_core::ControlMode;
 use netsim_routing::{DistributionMode, LinkAttrs, Topology};
 
 use crate::table::Table;
@@ -23,15 +31,27 @@ pub fn measure(n: usize) -> (Vec<JoinCost>, Vec<JoinCost>) {
 pub fn run(quick: bool) -> String {
     let n = if quick { 8 } else { 16 };
     let (mpls, overlay) = measure(n);
+    let inband = backbone_join_series(4, n, ControlMode::InBand);
+    let oracle = backbone_join_series(4, n, ControlMode::Oracle);
     let mut t = Table::new(
         "M1: cost of the k-th site join — MPLS/BGP vs overlay full mesh",
-        &["join #", "mpls devices", "mpls messages", "ovl devices", "ovl new circuits"],
+        &[
+            "join #",
+            "mpls devices",
+            "mpls messages",
+            "in-band bgp pkts",
+            "oracle resync installs",
+            "ovl devices",
+            "ovl new circuits",
+        ],
     );
     for k in 0..n {
         t.row(&[
             k.to_string(),
             mpls[k].devices_touched.to_string(),
             mpls[k].control_messages.to_string(),
+            inband[k].control_messages.to_string(),
+            oracle[k].control_messages.to_string(),
             overlay[k].devices_touched.to_string(),
             overlay[k].new_circuits.to_string(),
         ]);

@@ -1,0 +1,708 @@
+//! In-band incremental control plane (`ControlMode::InBand`).
+//!
+//! The oracle control plane recomputes IGP/LDP state globally and pushes
+//! every imported route into every VRF out-of-band. This module replaces
+//! that with *messages*: IGP link-state advertisements flood hop-by-hop as
+//! CS6-marked control packets through the same links and queues as data,
+//! LDP mappings/withdraws ride single-hop session messages, and MP-BGP VPN
+//! updates (labels piggybacked on the route, per the paper's §4) travel
+//! PE-to-PE and are applied as deltas.
+//!
+//! The shared [`ControlDb`] holds one *view* per router: what that node
+//! currently believes about the topology (failed links, its SPF tree) and
+//! its LDP session state (bindings received from each neighbor, its FTN).
+//! Routers hand the database mutable references to their live tables
+//! (LFIB, VRF FIBs) when a control packet arrives, so incremental updates
+//! land directly in the forwarding plane — there is no global rebuild.
+//!
+//! Determinism: the database never iterates a hash map. All fan-out walks
+//! index ranges (FEC ordinals, topology adjacency order) or ordered sets,
+//! so replays are bit-identical for a fixed seed and event sequence.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use netsim_mpls::ldp::{Fec, LdpDomain};
+use netsim_mpls::lfib::{FtnEntry, LabelOp, Lfib, Nhlfe};
+use netsim_net::mpls::IMPLICIT_NULL;
+use netsim_net::{Dscp, Ip, Packet, Prefix};
+use netsim_obs::Histogram;
+use netsim_qos::Nanos;
+use netsim_routing::igp::spf_filtered;
+use netsim_routing::{Igp, Topology};
+use netsim_sim::{Ctx, FxHashMap, IfaceId};
+
+use crate::router::{VrfFib, VrfRoute};
+
+/// How routing, label and VPN state propagates through the backbone.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ControlMode {
+    /// Out-of-band oracle: global IGP/LDP recomputation on demand and a
+    /// full-table route push into every VRF (`sync_remote_routes`). Zero
+    /// control packets on the wire; convergence is instantaneous at the
+    /// reconvergence instant. This is the historical behavior and remains
+    /// bit-identical to it.
+    #[default]
+    Oracle,
+    /// In-band event-driven control plane: LSAs flood hop-by-hop as CS6
+    /// control packets, each router runs incremental SPF and repairs its
+    /// LFIB from retained LDP bindings, and BGP VPN deltas travel as typed
+    /// PE-to-PE messages. Convergence takes real (simulated) time.
+    InBand,
+}
+
+/// Flow-id namespace for control packets. Distinct from (and above) the
+/// SLA-probe namespace so routers and sinks can cheaply classify:
+/// `flow >= CTRL_FLOW_BASE` means control plane.
+pub const CTRL_FLOW_BASE: u64 = 1 << 49;
+
+/// Shared handle to the control database: the builder creates one per
+/// in-band network and threads it through every backbone router.
+pub type ControlHandle = Rc<RefCell<ControlDb>>;
+
+/// Protocol ordinal inside the control flow-id namespace.
+const PROTO_IGP: usize = 0;
+const PROTO_LDP: usize = 1;
+const PROTO_BGP: usize = 2;
+
+/// A typed control message. The on-wire packet carries only CS6-marked
+/// UDP bytes of a representative size; the structured content rides in the
+/// database's side table keyed by the packet's `meta.seq`, mirroring how
+/// the data plane never parses control payloads.
+#[derive(Clone, Debug)]
+pub(crate) enum CtrlMsg {
+    /// Link-state advertisement: link `link` changed to `down` at event
+    /// sequence `seq`. Flooded hop-by-hop; deduplicated per (link, seq).
+    Lsa {
+        /// Topology link id the advertisement describes.
+        link: usize,
+        /// New state of the link.
+        down: bool,
+        /// Per-link event sequence number (dedup key).
+        seq: u64,
+    },
+    /// LDP label mapping: `from`'s binding for tunnel FEC `fec` is
+    /// `label`. Single hop (LDP sessions are link-local here).
+    LdpMapping {
+        /// Tunnel FEC ordinal (egress-PE index).
+        fec: u32,
+        /// The advertised label (possibly [`IMPLICIT_NULL`]).
+        label: u32,
+        /// Topology node that owns the binding.
+        from: usize,
+    },
+    /// LDP label withdraw: `from` no longer has a usable binding for
+    /// `fec`. Single hop.
+    LdpWithdraw {
+        /// Tunnel FEC ordinal.
+        fec: u32,
+        /// Topology node withdrawing its binding.
+        from: usize,
+    },
+    /// MP-BGP VPN route update addressed to PE `target`: install
+    /// `prefix → (egress_pe, vpn_label)` into VRF slot `vrf_idx`. The VPN
+    /// label is piggybacked on the route update (paper §4). Forwarded
+    /// hop-by-hop toward the target PE.
+    BgpUpdate {
+        /// Destination PE ordinal.
+        target: usize,
+        /// VRF slot index at the target PE.
+        vrf_idx: usize,
+        /// Customer prefix being advertised.
+        prefix: Prefix,
+        /// Egress PE ordinal for the route.
+        egress_pe: usize,
+        /// VPN demultiplexing label at the egress PE.
+        vpn_label: u32,
+    },
+    /// MP-BGP VPN route withdrawal addressed to PE `target`, optionally
+    /// carrying the replacement best path (multihomed failover).
+    BgpWithdraw {
+        /// Destination PE ordinal.
+        target: usize,
+        /// VRF slot index at the target PE.
+        vrf_idx: usize,
+        /// Customer prefix being withdrawn.
+        prefix: Prefix,
+        /// New best path, if any survives the withdrawal.
+        replacement: Option<(usize, u32)>,
+    },
+}
+
+impl CtrlMsg {
+    fn proto(&self) -> usize {
+        match self {
+            CtrlMsg::Lsa { .. } => PROTO_IGP,
+            CtrlMsg::LdpMapping { .. } | CtrlMsg::LdpWithdraw { .. } => PROTO_LDP,
+            CtrlMsg::BgpUpdate { .. } | CtrlMsg::BgpWithdraw { .. } => PROTO_BGP,
+        }
+    }
+
+    /// Representative payload size in bytes (headers are added by
+    /// `Packet::udp`); keeps per-link control-byte counters meaningful.
+    fn payload_len(&self) -> usize {
+        match self {
+            CtrlMsg::Lsa { .. } => 64,
+            CtrlMsg::LdpMapping { .. } | CtrlMsg::LdpWithdraw { .. } => 32,
+            CtrlMsg::BgpUpdate { .. } | CtrlMsg::BgpWithdraw { .. } => 64,
+        }
+    }
+
+    fn port(&self) -> u16 {
+        match self.proto() {
+            PROTO_IGP => 89,
+            PROTO_LDP => 646,
+            _ => 179,
+        }
+    }
+}
+
+/// Control-plane counters, all emergent (counted, not analytic).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CtrlStats {
+    /// LSAs originated by detection events (not counting floods).
+    pub lsa_originated: u64,
+    /// LDP session messages originated (mappings + withdraws).
+    pub ldp_originated: u64,
+    /// BGP VPN updates/withdraws originated at PEs.
+    pub bgp_originated: u64,
+    /// Control packets put on the wire, by protocol [igp, ldp, bgp].
+    pub pkts_by_proto: [u64; 3],
+    /// Total control packets put on the wire (floods + forwards included).
+    pub pkts_sent: u64,
+    /// Total control packets terminated (consumed) at a router.
+    pub pkts_terminated: u64,
+    /// Control bytes put on the wire.
+    pub bytes_sent: u64,
+    /// Messages dropped at origination/forwarding for lack of any route
+    /// toward the destination.
+    pub undeliverable: u64,
+    /// Full SPF recomputations triggered by LSA application.
+    pub spf_runs: u64,
+    /// LSA applications that incremental SPF proved irrelevant (skipped).
+    pub spf_skips: u64,
+    /// FTN repairs deferred because no binding from the new next hop was
+    /// retained yet (session refresh in flight).
+    pub ldp_missing_binding: u64,
+    /// BGP deltas applied into a VRF FIB.
+    pub bgp_applied: u64,
+    /// Route installs skipped because the receiving PE has no LSP toward
+    /// the egress PE (counted, never a panic — see also the oracle-path
+    /// counter on `ProviderNetwork`).
+    pub no_lsp_to_egress: u64,
+}
+
+/// What one router currently believes: its link-state database, SPF tree
+/// and LDP session state. Cloned from the oracle at bring-up ("initial
+/// RIB download"), then maintained purely by messages.
+struct NodeView {
+    /// Links this node believes are down.
+    failed: BTreeSet<usize>,
+    /// Latest applied (seq, down) per link — the LSA dedup state.
+    link_state: Vec<(u64, bool)>,
+    /// This node's shortest-path tree over the believed topology.
+    spf: netsim_routing::SpfTree,
+    /// Local label bindings per tunnel FEC (immutable once allocated).
+    bindings: std::collections::HashMap<Fec, u32>,
+    /// Liberal-retention label store: (fec, neighbor) → advertised label.
+    received: std::collections::HashMap<(Fec, usize), u32>,
+    /// Current FEC-to-NHLFE map (ingress push state).
+    ftn: std::collections::HashMap<Fec, FtnEntry>,
+    /// Whether each tunnel FEC's egress is currently believed reachable
+    /// (drives withdraw / re-advertise on transitions).
+    fec_reachable: Vec<bool>,
+}
+
+/// Mutable references to one router's forwarding tables, lent to the
+/// database for the duration of a single control-packet application.
+pub(crate) struct NodeTables<'a> {
+    /// The router's live LFIB.
+    pub lfib: &'a mut Lfib,
+    /// PE routers also lend their VRF FIBs (None for P routers).
+    pub vrfs: Option<&'a mut Vec<VrfFib>>,
+}
+
+/// The shared in-band control database: per-node views, the message side
+/// table, and control-plane telemetry.
+pub struct ControlDb {
+    topo: Topology,
+    pes: Vec<usize>,
+    views: Vec<NodeView>,
+    /// Structured content of in-flight control packets, keyed by the
+    /// packet's `meta.seq`. Entries are removed on termination; packets
+    /// purged at dead links leak their (bounded) entries harmlessly.
+    msgs: FxHashMap<u64, CtrlMsg>,
+    next_msg_id: u64,
+    /// Per-link event sequence, bumped once per fail/repair at the
+    /// provider-network level so both endpoints originate the same LSA.
+    link_seq: Vec<u64>,
+    /// (link, seq) → origination timestamp (event + detection delay);
+    /// every LSA application records `now - t0` as a convergence sample.
+    episodes: FxHashMap<(usize, u64), Nanos>,
+    /// Control bytes offered per topology link (both directions).
+    ctrl_bytes_by_link: Vec<u64>,
+    /// Propagation + processing latency of LSA application, ns.
+    convergence: Histogram,
+    max_convergence_ns: Nanos,
+    pub(crate) stats: CtrlStats,
+}
+
+impl ControlDb {
+    /// Builds the database from the converged oracle state: every node's
+    /// view starts as an exact copy of the oracle's SPF tree and LDP
+    /// session state (the "initial bring-up" the tentpole permits).
+    pub(crate) fn new(topo: &Topology, pes: &[usize], igp: &Igp, ldp: &LdpDomain) -> ControlDb {
+        let n = topo.node_count();
+        let nl = topo.link_count();
+        let mut views = Vec::with_capacity(n);
+        for u in 0..n {
+            let spf = igp.tree(u).clone();
+            let st = &ldp.nodes[u];
+            let fec_reachable = pes.iter().map(|&e| u == e || spf.next_hop[e].is_some()).collect();
+            views.push(NodeView {
+                failed: BTreeSet::new(),
+                link_state: vec![(0, false); nl],
+                spf,
+                bindings: st.bindings.clone(),
+                received: st.received.clone(),
+                ftn: st.ftn.clone(),
+                fec_reachable,
+            });
+        }
+        ControlDb {
+            topo: topo.clone(),
+            pes: pes.to_vec(),
+            views,
+            msgs: FxHashMap::default(),
+            next_msg_id: 1,
+            link_seq: vec![0; nl],
+            episodes: FxHashMap::default(),
+            ctrl_bytes_by_link: vec![0; nl],
+            convergence: Histogram::new(),
+            max_convergence_ns: 0,
+            stats: CtrlStats::default(),
+        }
+    }
+
+    /// Re-seeds every view from a freshly recomputed oracle (the safety
+    /// net used when `reconverge()` is invoked on an in-band network).
+    /// Dedup sequence state advances to the current per-link sequence so
+    /// stale in-flight LSAs are ignored afterwards.
+    pub(crate) fn rebuild(
+        &mut self,
+        igp: &Igp,
+        ldp: &LdpDomain,
+        failed: &std::collections::HashSet<usize>,
+    ) {
+        for u in 0..self.topo.node_count() {
+            let view = &mut self.views[u];
+            view.spf = igp.tree(u).clone();
+            view.bindings = ldp.nodes[u].bindings.clone();
+            view.received = ldp.nodes[u].received.clone();
+            view.ftn = ldp.nodes[u].ftn.clone();
+            view.failed = failed.iter().copied().collect();
+            for (f, &e) in self.pes.iter().enumerate() {
+                view.fec_reachable[f] = u == e || view.spf.next_hop[e].is_some();
+            }
+            for l in 0..self.topo.link_count() {
+                view.link_state[l] = (self.link_seq[l], failed.contains(&l));
+            }
+        }
+    }
+
+    /// Records a physical link event: bumps the per-link LSA sequence and
+    /// opens a convergence episode whose clock starts at `origination_at`
+    /// (event time + detection delay, so samples measure propagation and
+    /// processing, not detection).
+    pub(crate) fn note_link_event(&mut self, link: usize, origination_at: Nanos) {
+        self.link_seq[link] += 1;
+        self.episodes.insert((link, self.link_seq[link]), origination_at);
+    }
+
+    /// A router's detection timer fired for `iface`: originate the LSA,
+    /// apply it locally, and (on link-up) refresh the LDP session over
+    /// the recovered link.
+    pub(crate) fn on_link_event(
+        &mut self,
+        node: usize,
+        iface: usize,
+        down: bool,
+        tables: &mut NodeTables<'_>,
+        ctx: &mut Ctx,
+    ) {
+        let Some((far, link)) = self.topo.neighbors(node).nth(iface).map(|(p, _, l)| (p, l)) else {
+            return;
+        };
+        let seq = self.link_seq[link];
+        if down {
+            // LDP session loss: retained labels from the far end die with
+            // the session.
+            let view = &mut self.views[node];
+            for f in 0..self.pes.len() {
+                view.received.remove(&(Fec(f as u32), far));
+            }
+        }
+        self.stats.lsa_originated += 1;
+        self.apply_lsa(node, link, down, seq, None, tables, ctx);
+        if !down {
+            // Session re-establishment: re-advertise our bindings to the
+            // peer (it dropped them when the session died).
+            for f in 0..self.pes.len() {
+                let fec = Fec(f as u32);
+                let Some(&label) = self.views[node].bindings.get(&fec) else { continue };
+                if !self.views[node].fec_reachable[f] {
+                    continue;
+                }
+                self.stats.ldp_originated += 1;
+                self.send_msg(
+                    node,
+                    iface,
+                    CtrlMsg::LdpMapping { fec: f as u32, label, from: node },
+                    ctx,
+                );
+            }
+        }
+    }
+
+    /// A control packet arrived at `node` on `iface`: terminate it and
+    /// apply (or forward) its message.
+    pub(crate) fn on_control_packet(
+        &mut self,
+        node: usize,
+        iface: usize,
+        pkt: &Packet,
+        tables: &mut NodeTables<'_>,
+        ctx: &mut Ctx,
+    ) {
+        self.stats.pkts_terminated += 1;
+        let Some(msg) = self.msgs.remove(&pkt.meta.seq) else { return };
+        match msg {
+            CtrlMsg::Lsa { link, down, seq } => {
+                self.apply_lsa(node, link, down, seq, Some(iface), tables, ctx);
+            }
+            CtrlMsg::LdpMapping { fec, label, from } => {
+                self.views[node].received.insert((Fec(fec), from), label);
+                self.repair_fec(node, fec as usize, tables, ctx);
+            }
+            CtrlMsg::LdpWithdraw { fec, from } => {
+                self.views[node].received.remove(&(Fec(fec), from));
+                self.repair_fec(node, fec as usize, tables, ctx);
+            }
+            CtrlMsg::BgpUpdate { target, vrf_idx, prefix, egress_pe, vpn_label } => {
+                if self.pes[target] != node {
+                    let msg = CtrlMsg::BgpUpdate { target, vrf_idx, prefix, egress_pe, vpn_label };
+                    self.forward_toward(node, self.pes[target], msg, ctx);
+                    return;
+                }
+                let Some(vrfs) = tables.vrfs.as_deref_mut() else { return };
+                let Some(ftn) = self.views[node].ftn.get(&Fec(egress_pe as u32)).cloned() else {
+                    self.stats.no_lsp_to_egress += 1;
+                    return;
+                };
+                let vrf = &mut vrfs[vrf_idx];
+                if matches!(vrf.fib.get(prefix), Some(VrfRoute::Local { .. })) {
+                    return; // locally attached always wins
+                }
+                vrf.fib.insert(prefix, VrfRoute::Remote { egress_pe, vpn_label, tunnel: ftn });
+                self.stats.bgp_applied += 1;
+            }
+            CtrlMsg::BgpWithdraw { target, vrf_idx, prefix, replacement } => {
+                if self.pes[target] != node {
+                    let msg = CtrlMsg::BgpWithdraw { target, vrf_idx, prefix, replacement };
+                    self.forward_toward(node, self.pes[target], msg, ctx);
+                    return;
+                }
+                let Some(vrfs) = tables.vrfs.as_deref_mut() else { return };
+                let vrf = &mut vrfs[vrf_idx];
+                if matches!(vrf.fib.get(prefix), Some(VrfRoute::Local { .. })) {
+                    return;
+                }
+                match replacement {
+                    Some((egress_pe, vpn_label)) => {
+                        if let Some(ftn) = self.views[node].ftn.get(&Fec(egress_pe as u32)).cloned()
+                        {
+                            vrf.fib.insert(
+                                prefix,
+                                VrfRoute::Remote { egress_pe, vpn_label, tunnel: ftn },
+                            );
+                        } else {
+                            self.stats.no_lsp_to_egress += 1;
+                            vrf.fib.remove(prefix);
+                        }
+                    }
+                    None => {
+                        vrf.fib.remove(prefix);
+                    }
+                }
+                self.stats.bgp_applied += 1;
+            }
+        }
+    }
+
+    /// Applies one LSA at one node: dedup, link-state update, incremental
+    /// SPF, LDP/FTN/VRF repair, convergence sample, re-flood.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_lsa(
+        &mut self,
+        node: usize,
+        link: usize,
+        down: bool,
+        seq: u64,
+        arrival: Option<usize>,
+        tables: &mut NodeTables<'_>,
+        ctx: &mut Ctx,
+    ) {
+        {
+            let view = &mut self.views[node];
+            let (s_seq, s_down) = view.link_state[link];
+            let fresh = seq > s_seq || (seq == s_seq && down != s_down);
+            if !fresh {
+                return;
+            }
+            view.link_state[link] = (seq, down);
+            if down {
+                view.failed.insert(link);
+            } else {
+                view.failed.remove(&link);
+            }
+        }
+        // Incremental SPF: recompute only if the changed link can alter
+        // this root's tree; otherwise the LSA is topological noise here.
+        if self.views[node].spf.affected_by(&self.topo, link, down) {
+            let failed = self.views[node].failed.clone();
+            self.views[node].spf = spf_filtered(&self.topo, node, &|l| !failed.contains(&l));
+            self.stats.spf_runs += 1;
+        } else {
+            self.stats.spf_skips += 1;
+        }
+        // Repair every tunnel FEC from retained LDP state (liberal
+        // retention is what makes this purely local in the common case).
+        for f in 0..self.pes.len() {
+            self.repair_fec(node, f, tables, ctx);
+        }
+        if let Some(&t0) = self.episodes.get(&(link, seq)) {
+            let d = ctx.now().saturating_sub(t0);
+            self.convergence.record(d);
+            self.max_convergence_ns = self.max_convergence_ns.max(d);
+        }
+        // Re-flood to every live neighbor except the one we heard from.
+        let floods: Vec<usize> = self
+            .topo
+            .neighbors(node)
+            .enumerate()
+            .filter(|(i, (_, _, l))| Some(*i) != arrival && !self.views[node].failed.contains(l))
+            .map(|(i, _)| i)
+            .collect();
+        for iface in floods {
+            self.send_msg(node, iface, CtrlMsg::Lsa { link, down, seq }, ctx);
+        }
+    }
+
+    /// Recomputes the desired FTN for tunnel FEC `f` at `node` from the
+    /// current view, re-points the LFIB transit entry and any VRF routes
+    /// using that tunnel, and advertises/withdraws on reachability flips.
+    fn repair_fec(&mut self, node: usize, f: usize, tables: &mut NodeTables<'_>, ctx: &mut Ctx) {
+        let egress = self.pes[f];
+        if node == egress {
+            return;
+        }
+        let fec = Fec(f as u32);
+        let (desired, reachable) = {
+            let view = &self.views[node];
+            match view.spf.next_hop[egress] {
+                None => (None, false),
+                Some(nh) => {
+                    let iface = self.topo.iface_toward(node, nh);
+                    match view.received.get(&(fec, nh)) {
+                        Some(&l) => (Some((iface, l)), true),
+                        None => (None, true), // session refresh in flight
+                    }
+                }
+            }
+        };
+        if desired.is_none() && reachable {
+            self.stats.ldp_missing_binding += 1;
+        }
+        let new_ftn = desired.map(|(iface, l)| FtnEntry {
+            push: if l == IMPLICIT_NULL { Vec::new() } else { vec![l] },
+            out_iface: iface,
+        });
+        let changed = self.views[node].ftn.get(&fec) != new_ftn.as_ref();
+        if changed {
+            let view = &mut self.views[node];
+            match new_ftn.clone() {
+                Some(e) => {
+                    view.ftn.insert(fec, e);
+                }
+                None => {
+                    view.ftn.remove(&fec);
+                }
+            }
+            // Transit repair: re-point the ILM entry for our own binding.
+            if let Some(&local) = self.views[node].bindings.get(&fec) {
+                if local != IMPLICIT_NULL {
+                    match desired {
+                        Some((iface, l)) => {
+                            let op =
+                                if l == IMPLICIT_NULL { LabelOp::Pop } else { LabelOp::Swap(l) };
+                            tables.lfib.install(local, Nhlfe { op, out_iface: iface });
+                        }
+                        None => {
+                            tables.lfib.remove(local);
+                        }
+                    }
+                }
+            }
+            // Ingress repair: VRF routes tunneled toward this egress.
+            if let Some(vrfs) = tables.vrfs.as_deref_mut() {
+                repoint_vrfs(vrfs, f, new_ftn.as_ref());
+            }
+        }
+        let was = self.views[node].fec_reachable[f];
+        if reachable != was {
+            self.views[node].fec_reachable[f] = reachable;
+            let label = self.views[node].bindings.get(&fec).copied();
+            let nbrs: Vec<usize> = self
+                .topo
+                .neighbors(node)
+                .enumerate()
+                .filter(|(_, (_, _, l))| !self.views[node].failed.contains(l))
+                .map(|(i, _)| i)
+                .collect();
+            for iface in nbrs {
+                let msg = if reachable {
+                    match label {
+                        Some(l) => CtrlMsg::LdpMapping { fec: f as u32, label: l, from: node },
+                        None => continue,
+                    }
+                } else {
+                    CtrlMsg::LdpWithdraw { fec: f as u32, from: node }
+                };
+                self.stats.ldp_originated += 1;
+                self.send_msg(node, iface, msg, ctx);
+            }
+        }
+    }
+
+    /// Forwards a PE-addressed message one hop along the current view's
+    /// shortest path toward the target node.
+    fn forward_toward(&mut self, node: usize, target_node: usize, msg: CtrlMsg, ctx: &mut Ctx) {
+        let Some(nh) = self.views[node].spf.next_hop[target_node] else {
+            self.stats.undeliverable += 1;
+            return;
+        };
+        let iface = self.topo.iface_toward(node, nh);
+        self.send_msg(node, iface, msg, ctx);
+    }
+
+    /// Prepares a BGP message for injection at `origin_node` (used by the
+    /// provider-network layer, which has no router context): returns the
+    /// first-hop interface and the wire packet, or `None` if the origin's
+    /// view has no path toward the target.
+    pub(crate) fn prepare_bgp_from(
+        &mut self,
+        origin_node: usize,
+        msg: CtrlMsg,
+    ) -> Option<(IfaceId, Packet)> {
+        let target = match &msg {
+            CtrlMsg::BgpUpdate { target, .. } | CtrlMsg::BgpWithdraw { target, .. } => {
+                self.pes[*target]
+            }
+            _ => return None,
+        };
+        self.stats.bgp_originated += 1;
+        let Some(nh) = self.views[origin_node].spf.next_hop[target] else {
+            self.stats.undeliverable += 1;
+            return None;
+        };
+        let iface = self.topo.iface_toward(origin_node, nh);
+        Some((IfaceId(iface), self.prepare(origin_node, iface, msg)))
+    }
+
+    /// Builds the wire packet for `msg` leaving `node` on `iface` and does
+    /// all send-side bookkeeping (side table, counters, per-link bytes).
+    fn prepare(&mut self, node: usize, iface: usize, msg: CtrlMsg) -> Packet {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        let proto = msg.proto();
+        let mut pkt = Packet::udp(
+            Ip(0xC0DE_0000 + node as u32),
+            Ip(0xC0DE_FFFF),
+            msg.port(),
+            msg.port(),
+            Dscp::CS6,
+            msg.payload_len(),
+        );
+        pkt.meta.flow = CTRL_FLOW_BASE + proto as u64;
+        pkt.meta.seq = id;
+        self.stats.pkts_by_proto[proto] += 1;
+        self.stats.pkts_sent += 1;
+        self.stats.bytes_sent += pkt.wire_len() as u64;
+        if let Some((_, _, link)) = self.topo.neighbors(node).nth(iface) {
+            self.ctrl_bytes_by_link[link] += pkt.wire_len() as u64;
+        }
+        self.msgs.insert(id, msg);
+        pkt
+    }
+
+    fn send_msg(&mut self, node: usize, iface: usize, msg: CtrlMsg, ctx: &mut Ctx) {
+        let pkt = self.prepare(node, iface, msg);
+        ctx.send(IfaceId(iface), pkt);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CtrlStats {
+        self.stats.clone()
+    }
+
+    /// Convergence-latency histogram (propagation + processing, ns).
+    pub fn convergence(&self) -> &Histogram {
+        &self.convergence
+    }
+
+    /// Worst observed propagation + processing latency, ns.
+    pub fn max_convergence_ns(&self) -> Nanos {
+        self.max_convergence_ns
+    }
+
+    /// Control bytes offered on `link` since bring-up.
+    pub fn ctrl_bytes_on_link(&self, link: usize) -> u64 {
+        self.ctrl_bytes_by_link[link]
+    }
+
+    /// This node's current view of the SPF tree (parity/testing hook).
+    pub fn view_spf(&self, node: usize) -> &netsim_routing::SpfTree {
+        &self.views[node].spf
+    }
+
+    /// This node's current FTN entry for a tunnel FEC (parity hook).
+    pub fn view_ftn(&self, node: usize, fec: u32) -> Option<&FtnEntry> {
+        self.views[node].ftn.get(&Fec(fec))
+    }
+}
+
+/// Re-points every VRF route tunneled toward `egress_pe` at the new FTN.
+/// When the LSP is gone entirely the stale tunnel is left in place — the
+/// same degrade-in-place the oracle sync path exhibits — so traffic drops
+/// at the dead link instead of silently un-routing.
+fn repoint_vrfs(vrfs: &mut [VrfFib], egress_pe: usize, ftn: Option<&FtnEntry>) {
+    let Some(t) = ftn else { return };
+    for vrf in vrfs.iter_mut() {
+        let stale: Vec<(Prefix, u32)> = vrf
+            .fib
+            .iter()
+            .filter_map(|(p, r)| match r {
+                VrfRoute::Remote { egress_pe: e, vpn_label, tunnel }
+                    if *e == egress_pe && tunnel != t =>
+                {
+                    Some((p, *vpn_label))
+                }
+                _ => None,
+            })
+            .collect();
+        for (p, vpn_label) in stale {
+            vrf.fib.insert(p, VrfRoute::Remote { egress_pe, vpn_label, tunnel: t.clone() });
+        }
+    }
+}

@@ -27,6 +27,7 @@ use netsim_qos::Nanos;
 use netsim_sim::{FaultAction, FaultPlan};
 use netsim_te::{cspf_path_excluding, SrlgMap, TeDomain, TrunkId};
 
+use crate::control::ControlMode;
 use crate::network::{ControlSummary, ProviderNetwork};
 
 /// How the network reacts to a link failure.
@@ -192,7 +193,10 @@ impl ProviderNetwork {
                 FaultAction::Repair => Step::Repair(ev.link),
             };
             steps.push((ev.at, step));
-            if mode == FailoverMode::GlobalReconverge {
+            // Under in-band control the LSA flood *is* the reaction; the
+            // oracle reconvergence only stands in for it in Oracle mode.
+            if mode == FailoverMode::GlobalReconverge && self.control_mode() == ControlMode::Oracle
+            {
                 steps.push((ev.at + self.detect_ns, Step::Reconverge));
             }
         }

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod frr;
 pub mod interprovider;
 pub mod ipsec_vpn;
@@ -45,10 +46,11 @@ pub mod sla;
 pub mod trace;
 mod verify;
 
+pub use control::{ControlMode, CtrlStats, CTRL_FLOW_BASE};
 pub use frr::{FailoverMode, FaultOutcome, ReconvergeSummary};
 pub use netsim_obs::{DropCause, FlightRecorder, MetricsRegistry, MetricsSnapshot, ProbeRow};
 pub use netsim_verify::{codes, Diagnostic, Severity, VerifyReport};
-pub use network::{BackboneBuilder, CoreQos, ProviderNetwork, SiteId, VpnId};
+pub use network::{BackboneBuilder, CoreQos, ProviderNetwork, SiteId, VpnId, VrfDigestRow};
 pub use obs::PROBE_FLOW_BASE;
 pub use router::{CeRouter, CoreRouter, PeRouter};
 pub use sla::{voice_mos, Sla, SlaReport};

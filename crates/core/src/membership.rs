@@ -7,8 +7,13 @@
 //! provisioned hop by hop.
 
 use netsim_net::{Ip, Prefix};
-use netsim_routing::{BgpVpnFabric, DistributionMode, RouteDistinguisher, RouteTarget, Topology};
+use netsim_routing::{
+    BgpVpnFabric, DistributionMode, LinkAttrs, RouteDistinguisher, RouteTarget, Topology,
+};
+use netsim_sim::MSEC;
 
+use crate::control::ControlMode;
+use crate::network::BackboneBuilder;
 use crate::overlay::{OverlayNetwork, OverlaySiteId};
 
 /// Cost of one site join.
@@ -63,6 +68,43 @@ pub fn mpls_join_series(pe_count: usize, n_sites: usize, mode: DistributionMode)
     costs
 }
 
+/// Joins `n_sites` sites (round-robin over `pe_count` PEs, full-mesh
+/// backbone) to one VPN on a *running* [`crate::ProviderNetwork`] and
+/// records per-join control cost under `mode`.
+///
+/// Unlike [`mpls_join_series`] — which measures the abstract fabric —
+/// this drives the deployed network: under [`ControlMode::InBand`] the
+/// cost is the MP-BGP update packets that actually crossed backbone
+/// links (one per remote member PE, flat in the number of *sites*);
+/// under [`ControlMode::Oracle`] it is the route installs the oracle's
+/// full-table resync performed, which grows with the table.
+pub fn backbone_join_series(pe_count: usize, n_sites: usize, mode: ControlMode) -> Vec<JoinCost> {
+    let attrs = LinkAttrs { cost: 1, capacity_bps: 1_000_000_000 };
+    let topo = Topology::full_mesh(pe_count, attrs);
+    let pes: Vec<usize> = (0..pe_count).collect();
+    let mut pn = BackboneBuilder::new(topo, pes).control_mode(mode).build();
+    let vpn = pn.new_vpn("m1");
+    let cost_so_far = |pn: &crate::ProviderNetwork| match mode {
+        ControlMode::Oracle => pn.sync_route_pushes(),
+        ControlMode::InBand => pn.control_stats().map_or(0, |s| s.pkts_by_proto[2]),
+    };
+    let mut costs = Vec::with_capacity(n_sites);
+    for i in 0..n_sites {
+        let pe = i % pe_count;
+        let before = cost_so_far(&pn);
+        pn.add_site(vpn, pe, site_prefix(i), None);
+        // Let in-band updates propagate (one hop on a full mesh).
+        pn.run_for(20 * MSEC);
+        costs.push(JoinCost {
+            site_index: i,
+            devices_touched: 1,
+            control_messages: cost_so_far(&pn) - before,
+            new_circuits: 0,
+        });
+    }
+    costs
+}
+
 /// Joins `attachments.len()` sites to an overlay VPN (site `i` homed on
 /// switch `attachments[i]`), full-meshing each new site with all existing
 /// ones, and records per-join costs.
@@ -106,6 +148,29 @@ mod tests {
         let early = costs[1].control_messages;
         assert!(late <= early + 16, "join cost must not grow linearly: early={early} late={late}");
         assert!(costs.iter().all(|c| c.new_circuits == 0));
+    }
+
+    #[test]
+    fn inband_join_cost_is_flat_where_the_oracle_resync_grows() {
+        let (pe_count, n) = (4, 12);
+        let inband = backbone_join_series(pe_count, n, ControlMode::InBand);
+        // Steady state (every PE already has the VRF): exactly one MP-BGP
+        // update packet per remote member PE, regardless of table size.
+        for c in &inband[pe_count..] {
+            assert_eq!(
+                c.control_messages,
+                (pe_count - 1) as u64,
+                "join {} must cost one update per remote PE",
+                c.site_index
+            );
+        }
+        let oracle = backbone_join_series(pe_count, n, ControlMode::Oracle);
+        assert!(
+            oracle[n - 1].control_messages > oracle[pe_count].control_messages,
+            "the oracle full resync grows with the table: {:?}",
+            oracle.iter().map(|c| c.control_messages).collect::<Vec<_>>()
+        );
+        assert!(inband[n - 1].control_messages < oracle[n - 1].control_messages);
     }
 
     #[test]

@@ -31,7 +31,11 @@ use netsim_sim::{
     SourceConfig,
 };
 
-use crate::router::{CeRouter, CoreRouter, PeRouter};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::control::{ControlDb, ControlHandle, ControlMode, CtrlMsg, CtrlStats};
+use crate::router::{CeRouter, CoreRouter, PeRouter, VrfRoute};
 use crate::trace::TraceLog;
 
 /// Handle to a VPN created on a provider network.
@@ -157,6 +161,7 @@ pub struct BackboneBuilder {
     trace: Option<TraceLog>,
     seed: u64,
     detect_ns: Nanos,
+    control_mode: ControlMode,
 }
 
 impl BackboneBuilder {
@@ -177,7 +182,16 @@ impl BackboneBuilder {
             trace: None,
             seed: 1,
             detect_ns: 50_000_000, // 50 ms: ~3 missed BFD hellos at slow timers
+            control_mode: ControlMode::Oracle,
         }
+    }
+
+    /// Selects the control-plane mode: the out-of-band [`ControlMode::Oracle`]
+    /// (default, historical behavior) or the in-band, message-driven
+    /// [`ControlMode::InBand`].
+    pub fn control_mode(mut self, m: ControlMode) -> Self {
+        self.control_mode = m;
+        self
     }
 
     /// Sets the link-failure detection delay (BFD hold time): how long
@@ -278,6 +292,23 @@ impl BackboneBuilder {
         }
 
         let fabric = BgpVpnFabric::new(self.pes.len(), self.distribution);
+        // In-band mode: every backbone router shares the control database,
+        // seeded from the converged bring-up state (the one permitted
+        // oracle download); everything after this travels as messages.
+        let control = match self.control_mode {
+            ControlMode::Oracle => None,
+            ControlMode::InBand => {
+                let db = Rc::new(RefCell::new(ControlDb::new(&self.topo, &self.pes, &igp, &ldp)));
+                for (u, &nid) in node_ids.iter().enumerate().take(self.topo.node_count()) {
+                    if pe_ordinal.contains_key(&u) {
+                        net.node_mut::<PeRouter>(nid).set_control(db.clone(), u);
+                    } else {
+                        net.node_mut::<CoreRouter>(nid).set_control(db.clone(), u);
+                    }
+                }
+                Some(db)
+            }
+        };
         ProviderNetwork {
             net,
             topo: self.topo,
@@ -301,9 +332,17 @@ impl BackboneBuilder {
             recorder,
             registry: MetricsRegistry::new(),
             probes: Vec::new(),
+            control,
+            no_lsp_to_egress: 0,
+            sync_route_pushes: 0,
         }
     }
 }
+
+/// One row of [`ProviderNetwork::vrf_digest`]: the prefix plus `None`
+/// for a locally attached route or `Some((egress_pe, vpn_label,
+/// tunnel_path))` for a remote one.
+pub type VrfDigestRow = (Prefix, Option<(usize, u32, Option<Vec<usize>>)>);
 
 /// A running MPLS VPN provider network.
 pub struct ProviderNetwork {
@@ -335,6 +374,13 @@ pub struct ProviderNetwork {
     pub(crate) recorder: FlightRecorder,
     pub(crate) registry: MetricsRegistry,
     pub(crate) probes: Vec<crate::obs::ProbeSpec>,
+    pub(crate) control: Option<ControlHandle>,
+    /// Oracle-path count of route installs skipped because the PE had no
+    /// LSP toward the egress (partition degradation; never a panic).
+    no_lsp_to_egress: u64,
+    /// Route installs performed by the oracle full-table sync — the
+    /// O(routes × VRFs) cost the in-band mode removes from the hot path.
+    sync_route_pushes: u64,
 }
 
 impl ProviderNetwork {
@@ -400,6 +446,29 @@ impl ProviderNetwork {
                 let fwd = self.registry.counter(&format!("vrf.{name}.pe{pe}.forwarded"));
                 self.net.node_mut::<PeRouter>(pe_node).vrfs[vrf_idx].set_forward_counter(fwd);
                 self.fabric.refresh_vrf(handle);
+                if self.control.is_some() {
+                    // In-band: a brand-new VRF gets its initial RIB
+                    // download directly (the one full pull the tentpole
+                    // permits at bring-up); afterwards only deltas arrive.
+                    let routes: Vec<(Prefix, netsim_routing::RemoteRoute)> =
+                        self.fabric.routes(handle).iter().map(|(p, r)| (p, *r)).collect();
+                    for (prefix, r) in routes {
+                        let ftn = self.control.as_ref().and_then(|db| {
+                            db.borrow().view_ftn(pe_topo, r.egress_pe as u32).cloned()
+                        });
+                        let Some(ftn) = ftn else {
+                            self.no_lsp_to_egress += 1;
+                            continue;
+                        };
+                        self.net.node_mut::<PeRouter>(pe_node).install_remote_route(
+                            vrf_idx,
+                            prefix,
+                            r.egress_pe,
+                            r.vpn_label,
+                            ftn,
+                        );
+                    }
+                }
                 self.vrf_handles.insert((pe, vpn), (handle, vrf_idx));
                 (handle, vrf_idx)
             }
@@ -425,7 +494,36 @@ impl ProviderNetwork {
             per.install_local_route(vrf_idx, prefix, pe_if.0);
             per.install_vpn_label(label, vrf_idx);
         }
-        self.sync_remote_routes();
+        if self.control.is_some() {
+            // In-band: the join cost is O(delta) — one BGP update (VPN
+            // label piggybacked, §4) per importing PE, each travelling
+            // hop-by-hop as a CS6 control packet. No full-table resync.
+            for ((pe2, _vpn2), (h2, v2)) in self.sorted_vrf_handles() {
+                if pe2 == pe {
+                    continue;
+                }
+                let selected = self
+                    .fabric
+                    .routes(h2)
+                    .get(prefix)
+                    .is_some_and(|r| r.egress_pe == pe && r.vpn_label == label);
+                if !selected {
+                    continue;
+                }
+                self.inject_bgp(
+                    pe,
+                    CtrlMsg::BgpUpdate {
+                        target: pe2,
+                        vrf_idx: v2,
+                        prefix,
+                        egress_pe: pe,
+                        vpn_label: label,
+                    },
+                );
+            }
+        } else {
+            self.sync_remote_routes();
+        }
 
         let site = SiteId(self.sites.len());
         self.sites.push(SiteInfo { vpn, pe, prefix, ce: ce_id, access_link, pe_iface: pe_if.0 });
@@ -460,6 +558,19 @@ impl ProviderNetwork {
         // The VPN label this home advertised for the prefix.
         let label =
             self.fabric.local_routes(handle).iter().find(|(p, _)| *p == prefix).map(|(_, l)| *l);
+        // In-band: snapshot every importer's current selection so the
+        // withdrawal becomes a per-importer delta message.
+        let handles = self.sorted_vrf_handles();
+        let before: Vec<Option<(usize, u32)>> = if self.control.is_some() {
+            handles
+                .iter()
+                .map(|&((_, _), (h2, _))| {
+                    self.fabric.routes(h2).get(prefix).map(|r| (r.egress_pe, r.vpn_label))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         self.fabric.withdraw(handle, prefix);
         {
             let per = self.net.node_mut::<PeRouter>(self.pe_node(pe));
@@ -470,21 +581,78 @@ impl ProviderNetwork {
         }
         self.net.set_link_enabled(access_link, false);
         let _ = pe_iface;
-        // Drop data-plane routes that no longer exist in the fabric, then
-        // install the failover selections.
-        let handles: Vec<((usize, VpnId), (VrfHandle, usize))> =
-            self.vrf_handles.iter().map(|(&k, &v)| (k, v)).collect();
-        for ((pe2, vpn2), (h2, v2)) in handles {
-            if vpn2 != vpn || pe2 == pe {
-                continue;
+        if self.control.is_some() {
+            // The detaching PE itself fails over locally (it is the one
+            // touched device); every other importer whose selection
+            // changed gets a withdraw message carrying the replacement
+            // best path, if any.
+            if let Some(r) = self.fabric.routes(handle).get(prefix).copied() {
+                let pe_topo = self.pes[pe];
+                let ftn = self
+                    .control
+                    .as_ref()
+                    .and_then(|db| db.borrow().view_ftn(pe_topo, r.egress_pe as u32).cloned());
+                if let Some(ftn) = ftn {
+                    let node = self.pe_node(pe);
+                    self.net.node_mut::<PeRouter>(node).install_remote_route(
+                        vrf_idx,
+                        prefix,
+                        r.egress_pe,
+                        r.vpn_label,
+                        ftn,
+                    );
+                } else {
+                    self.no_lsp_to_egress += 1;
+                }
             }
-            let still_local = self.fabric.local_routes(h2).iter().any(|(p, _)| *p == prefix);
-            if !still_local && self.fabric.routes(h2).get(prefix).is_none() {
-                let node = self.pe_node(pe2);
-                self.net.node_mut::<PeRouter>(node).vrfs[v2].fib.remove(prefix);
+            for (i, ((pe2, _vpn2), (h2, v2))) in handles.iter().copied().enumerate() {
+                if pe2 == pe {
+                    continue;
+                }
+                let now = self.fabric.routes(h2).get(prefix).map(|r| (r.egress_pe, r.vpn_label));
+                if now == before[i] {
+                    continue;
+                }
+                self.inject_bgp(
+                    pe,
+                    CtrlMsg::BgpWithdraw { target: pe2, vrf_idx: v2, prefix, replacement: now },
+                );
             }
+        } else {
+            // Oracle: drop data-plane routes that no longer exist in the
+            // fabric, then install the failover selections.
+            for ((pe2, vpn2), (h2, v2)) in handles {
+                if vpn2 != vpn || pe2 == pe {
+                    continue;
+                }
+                let still_local = self.fabric.local_routes(h2).iter().any(|(p, _)| *p == prefix);
+                if !still_local && self.fabric.routes(h2).get(prefix).is_none() {
+                    let node = self.pe_node(pe2);
+                    self.net.node_mut::<PeRouter>(node).vrfs[v2].fib.remove(prefix);
+                }
+            }
+            self.sync_remote_routes();
         }
-        self.sync_remote_routes();
+    }
+
+    /// All (pe, vpn) → (handle, vrf index) pairs in a deterministic order.
+    fn sorted_vrf_handles(&self) -> Vec<((usize, VpnId), (VrfHandle, usize))> {
+        let mut v: Vec<((usize, VpnId), (VrfHandle, usize))> =
+            self.vrf_handles.iter().map(|(&k, &v)| (k, v)).collect();
+        v.sort_by_key(|&((pe, vpn), _)| (pe, vpn.0));
+        v
+    }
+
+    /// Originates an in-band BGP control message at PE `origin_pe`,
+    /// injecting it toward its target along the origin's current view of
+    /// the shortest path. No-op in Oracle mode or when the target is
+    /// unreachable (counted as undeliverable).
+    fn inject_bgp(&mut self, origin_pe: usize, msg: CtrlMsg) {
+        let Some(db) = &self.control else { return };
+        let origin_node = self.pes[origin_pe];
+        if let Some((iface, pkt)) = db.borrow_mut().prepare_bgp_from(origin_node, msg) {
+            self.net.inject(self.node_ids[origin_node], iface, pkt);
+        }
     }
 
     /// Pushes the fabric's current imported routes into every PE data
@@ -499,16 +667,15 @@ impl ProviderNetwork {
                 self.fabric.routes(handle).iter().map(|(p, r)| (p, *r)).collect();
             for (prefix, r) in routes {
                 let Some(ftn) = self.ldp.nodes[pe_topo].ftn.get(&Fec(r.egress_pe as u32)) else {
-                    // No LSP toward the egress (possible mid-failure when a
-                    // PE is partitioned): leave any existing route in place.
-                    assert!(
-                        !self.failed_links.is_empty(),
-                        "no LSP from PE{pe} (node {pe_topo}) to PE{} on a healthy backbone",
-                        r.egress_pe
-                    );
+                    // No LSP toward the egress (a partitioned PE, or a
+                    // healthy-looking fabric ahead of reconvergence):
+                    // leave any existing route in place and count the
+                    // degradation instead of aborting the run.
+                    self.no_lsp_to_egress += 1;
                     continue;
                 };
                 let ftn = ftn.clone();
+                self.sync_route_pushes += 1;
                 self.net.node_mut::<PeRouter>(pe_node).install_remote_route(
                     vrf_idx,
                     prefix,
@@ -710,6 +877,207 @@ impl ProviderNetwork {
         }
     }
 
+    // -- RT policy deltas ---------------------------------------------------
+
+    /// Adds an import route target to the VRF for `vpn` at PE `pe` and
+    /// applies the resulting route deltas. An RT-policy change is a local
+    /// Adj-RIB-In re-filtering — zero control messages in either mode;
+    /// only the one touched PE's data plane changes.
+    pub fn add_import_target(&mut self, pe: usize, vpn: VpnId, rt: RouteTarget) {
+        let (handle, vrf_idx) = self.vrf_handles[&(pe, vpn)];
+        self.fabric.add_import_target(handle, rt);
+        self.apply_refilter(pe, handle, vrf_idx);
+    }
+
+    /// Removes an import route target from the VRF for `vpn` at PE `pe`
+    /// and applies the resulting route deltas (withdrawing imports that no
+    /// longer match any policy).
+    pub fn remove_import_target(&mut self, pe: usize, vpn: VpnId, rt: RouteTarget) {
+        let (handle, vrf_idx) = self.vrf_handles[&(pe, vpn)];
+        self.fabric.remove_import_target(handle, rt);
+        self.apply_refilter(pe, handle, vrf_idx);
+    }
+
+    fn apply_refilter(&mut self, pe: usize, handle: VrfHandle, vrf_idx: usize) {
+        let (added, removed) = self.fabric.refilter_vrf(handle);
+        let pe_topo = self.pes[pe];
+        let pe_node = self.node_ids[pe_topo];
+        for (prefix, _) in removed {
+            let per = self.net.node_mut::<PeRouter>(pe_node);
+            if matches!(per.vrfs[vrf_idx].fib.get(prefix), Some(VrfRoute::Local { .. })) {
+                continue; // locally attached routes never leave via policy
+            }
+            per.vrfs[vrf_idx].fib.remove(prefix);
+        }
+        for (prefix, r) in added {
+            let ftn = match &self.control {
+                None => self.ldp.nodes[pe_topo].ftn.get(&Fec(r.egress_pe as u32)).cloned(),
+                Some(db) => db.borrow().view_ftn(pe_topo, r.egress_pe as u32).cloned(),
+            };
+            let Some(ftn) = ftn else {
+                self.no_lsp_to_egress += 1;
+                continue;
+            };
+            self.net.node_mut::<PeRouter>(pe_node).install_remote_route(
+                vrf_idx,
+                prefix,
+                r.egress_pe,
+                r.vpn_label,
+                ftn,
+            );
+        }
+    }
+
+    // -- control-plane observability & parity hooks -------------------------
+
+    /// Which control-plane mode this network runs.
+    pub fn control_mode(&self) -> ControlMode {
+        if self.control.is_some() {
+            ControlMode::InBand
+        } else {
+            ControlMode::Oracle
+        }
+    }
+
+    /// In-band control-plane counters (`None` in Oracle mode).
+    pub fn control_stats(&self) -> Option<CtrlStats> {
+        self.control.as_ref().map(|db| db.borrow().stats())
+    }
+
+    /// Route installs skipped for lack of an LSP toward the egress, summed
+    /// over the oracle sync path and the in-band message path.
+    pub fn no_lsp_to_egress(&self) -> u64 {
+        self.no_lsp_to_egress
+            + self.control.as_ref().map_or(0, |db| db.borrow().stats.no_lsp_to_egress)
+    }
+
+    /// Route installs performed by the oracle full-table sync so far.
+    pub fn sync_route_pushes(&self) -> u64 {
+        self.sync_route_pushes
+    }
+
+    /// Convergence-latency quantiles (p50, p99, max) in ns of in-band LSA
+    /// application — the propagation + processing component of an outage
+    /// window. `None` in Oracle mode or before any link event.
+    pub fn control_convergence_ns(&self) -> Option<(u64, u64, u64)> {
+        let db = self.control.as_ref()?.borrow();
+        if db.convergence().count() == 0 {
+            return None;
+        }
+        Some((
+            db.convergence().quantile(0.5),
+            db.convergence().quantile(0.99),
+            db.max_convergence_ns(),
+        ))
+    }
+
+    /// Control bytes offered on backbone link `l` (both directions) since
+    /// bring-up. Always 0 in Oracle mode.
+    pub fn control_bytes_on_link(&self, l: usize) -> u64 {
+        self.control.as_ref().map_or(0, |db| db.borrow().ctrl_bytes_on_link(l))
+    }
+
+    /// The SPF tree node `u` currently forwards on: the oracle's tree in
+    /// Oracle mode, the node's own view in in-band mode (parity hook).
+    pub fn effective_spf(&self, u: usize) -> netsim_routing::SpfTree {
+        match &self.control {
+            None => self.igp.tree(u).clone(),
+            Some(db) => db.borrow().view_spf(u).clone(),
+        }
+    }
+
+    /// Walks the LSP from PE ordinal `ingress` to PE ordinal `egress`
+    /// through the live router LFIBs, returning the topology nodes
+    /// visited. `None` when no complete LSP exists. Used by the
+    /// mode-parity suite: label *values* may differ between modes (the
+    /// oracle reallocates on reconvergence, in-band retains), but the
+    /// forwarding path must not.
+    pub fn lsp_path(&mut self, ingress: usize, egress: usize) -> Option<Vec<usize>> {
+        let start = self.pes[ingress];
+        let ftn = match &self.control {
+            None => self.ldp.nodes[start].ftn.get(&Fec(egress as u32)).cloned(),
+            Some(db) => db.borrow().view_ftn(start, egress as u32).cloned(),
+        }?;
+        let want = self.pes[egress];
+        self.walk_tunnel(start, &ftn, want)
+    }
+
+    /// Follows a tunnel FTN from `start` through the live LFIBs until it
+    /// unwinds at `want` (or breaks). Dead links break the walk.
+    pub fn walk_tunnel(
+        &mut self,
+        start: usize,
+        ftn: &netsim_mpls::FtnEntry,
+        want: usize,
+    ) -> Option<Vec<usize>> {
+        use netsim_mpls::lfib::{LabelOp, LOCAL_IFACE};
+        let mut stack: Vec<u32> = ftn.push.clone(); // bottom .. top
+        let mut at = start;
+        let mut iface = ftn.out_iface;
+        let mut path = vec![at];
+        for _ in 0..(4 * self.topo.node_count().max(4)) {
+            let (next, _, link) = self.topo.neighbors(at).nth(iface)?;
+            if self.failed_links.contains(&link) {
+                return None;
+            }
+            at = next;
+            path.push(at);
+            let Some(&top) = stack.last() else {
+                // PHP already exposed the payload: we must have arrived.
+                return (at == want).then_some(path);
+            };
+            let mut nhlfe = None;
+            self.with_lfib(at, |l| nhlfe = l.lookup(top).copied());
+            let nhlfe = nhlfe?;
+            match nhlfe.op {
+                LabelOp::Pop => {
+                    stack.pop();
+                }
+                LabelOp::Swap(l) => *stack.last_mut().expect("nonempty") = l,
+                LabelOp::SwapPush { swap, push } => {
+                    *stack.last_mut().expect("nonempty") = swap;
+                    stack.push(push);
+                }
+            }
+            if nhlfe.out_iface == LOCAL_IFACE {
+                return (stack.is_empty() && at == want).then_some(path);
+            }
+            iface = nhlfe.out_iface;
+        }
+        None
+    }
+
+    /// Digest of one VRF's state at PE `pe` for cross-mode parity
+    /// checks: one sorted row per prefix — `None` for a locally attached
+    /// route, `Some((egress_pe, vpn_label, tunnel_path))` for a remote
+    /// one, where `tunnel_path` is the tunnel's node walk through the
+    /// live LFIBs (`None` = broken LSP). Label *values* are deliberately
+    /// excluded from the tunnel component: the oracle reallocates them on
+    /// reconvergence while in-band retention keeps them, but both must
+    /// forward over the same nodes.
+    pub fn vrf_digest(&mut self, pe: usize, vpn: VpnId) -> Vec<VrfDigestRow> {
+        let (_h, vrf_idx) = self.vrf_handles[&(pe, vpn)];
+        let pe_node = self.node_ids[self.pes[pe]];
+        let rows: Vec<(Prefix, VrfRoute)> = self.net.node_ref::<PeRouter>(pe_node).vrfs[vrf_idx]
+            .fib
+            .iter()
+            .map(|(p, r)| (p, r.clone()))
+            .collect();
+        let start = self.pes[pe];
+        let mut out: Vec<_> = rows
+            .into_iter()
+            .map(|(p, r)| match r {
+                VrfRoute::Local { .. } => (p, None),
+                VrfRoute::Remote { egress_pe, vpn_label, tunnel } => {
+                    let path = self.walk_tunnel(start, &tunnel, self.pes[egress_pe]);
+                    (p, Some((egress_pe, vpn_label, path)))
+                }
+            })
+            .collect();
+        out.sort_by_key(|&(p, _)| p);
+        out
+    }
+
     /// Rebinds one remote route at an ingress PE onto a different tunnel
     /// (e.g. a TE LSP from [`ProviderNetwork::install_explicit_lsp`]).
     /// Call after all sites are added — [`ProviderNetwork::add_site`]'s
@@ -761,6 +1129,7 @@ impl ProviderNetwork {
             return;
         }
         self.net.set_link_enabled(LinkId(topo_link), false);
+        self.note_control_event(topo_link);
         self.arm_detection(topo_link, true);
     }
 
@@ -773,22 +1142,44 @@ impl ProviderNetwork {
             return;
         }
         self.net.set_link_enabled(LinkId(topo_link), true);
+        self.note_control_event(topo_link);
         self.arm_detection(topo_link, false);
+    }
+
+    /// In-band bookkeeping for a physical link event: bumps the link's LSA
+    /// sequence and opens the convergence episode whose clock starts when
+    /// detection fires (so the histogram measures propagation +
+    /// processing, not the detection delay itself).
+    fn note_control_event(&mut self, topo_link: usize) {
+        if let Some(db) = &self.control {
+            db.borrow_mut().note_link_event(topo_link, self.net.now() + self.detect_ns);
+        }
     }
 
     /// Fails every backbone link incident to `topo_node` — a node (power
     /// or linecard) failure, modelled as the simultaneous loss of all its
     /// adjacencies. Already-failed links are skipped.
+    ///
+    /// The event is batched: one detection timer is armed per surviving
+    /// *neighbor* (the far endpoint of each newly failed link), not two
+    /// per link — the dead node itself has no working control plane to
+    /// notice anything with.
     pub fn fail_node(&mut self, topo_node: usize) {
         assert!(topo_node < self.topo.node_count(), "unknown backbone node {topo_node}");
-        let incident: Vec<usize> = (0..self.topo.link_count())
-            .filter(|&l| {
-                let (a, b, _) = self.topo.link(l);
-                a == topo_node || b == topo_node
-            })
-            .collect();
-        for l in incident {
-            self.fail_link(l);
+        let incident: Vec<(usize, usize)> =
+            self.topo.neighbors(topo_node).map(|(far, _, l)| (l, far)).collect();
+        for (l, far) in incident {
+            if !self.failed_links.insert(l) {
+                continue; // already failed: no double-counted drops/timers
+            }
+            self.net.set_link_enabled(LinkId(l), false);
+            self.note_control_event(l);
+            let iface = self.topo.iface_toward(far, topo_node);
+            self.net.arm_timer(
+                self.node_ids[far],
+                self.detect_ns,
+                crate::router::iface_timer_token(iface, true),
+            );
         }
     }
 
@@ -842,6 +1233,12 @@ impl ProviderNetwork {
         }
         self.ldp = ldp;
         self.sync_remote_routes();
+        if let Some(db) = &self.control {
+            // An explicit reconvergence on an in-band network is the
+            // safety net: re-seed every router's view from the fresh
+            // oracle so views and tables stay coherent.
+            db.borrow_mut().rebuild(&self.igp, &self.ldp, &self.failed_links);
+        }
         ControlSummary {
             igp_lsa_messages: self.igp.lsa_messages(),
             ldp_messages: self.ldp.messages,

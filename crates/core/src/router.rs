@@ -19,6 +19,7 @@ use netsim_obs::{Counter, DropCause, FlightRecorder};
 use netsim_qos::{Color, ExpMap, MarkingPolicy, SrTcm};
 use netsim_sim::{Ctx, FxHashMap, IfaceId, Node};
 
+use crate::control::{ControlHandle, NodeTables, CTRL_FLOW_BASE};
 use crate::trace::TraceLog;
 
 /// Timer-token namespace for BFD-style interface state changes delivered
@@ -96,6 +97,11 @@ pub struct CoreRouter {
     pub trace: Option<TraceLog>,
     /// Optional drop-cause flight recorder (shared with the network's).
     pub recorder: Option<FlightRecorder>,
+    /// In-band control plane, if the network runs `ControlMode::InBand`.
+    control: Option<ControlHandle>,
+    /// This router's backbone topology node id (only meaningful when
+    /// `control` is set).
+    topo_id: usize,
 }
 
 impl CoreRouter {
@@ -108,7 +114,16 @@ impl CoreRouter {
             counters: RouterCounters::default(),
             trace: None,
             recorder: None,
+            control: None,
+            topo_id: usize::MAX,
         }
+    }
+
+    /// Attaches the shared in-band control database. `topo_id` is this
+    /// router's node id in the backbone topology.
+    pub(crate) fn set_control(&mut self, db: ControlHandle, topo_id: usize) {
+        self.control = Some(db);
+        self.topo_id = topo_id;
     }
 
     /// Attaches a trace log.
@@ -150,6 +165,13 @@ impl CoreRouter {
 
 impl Node for CoreRouter {
     fn on_packet(&mut self, _iface: IfaceId, mut pkt: Pkt, ctx: &mut Ctx) {
+        if pkt.meta.flow >= CTRL_FLOW_BASE {
+            if let Some(db) = &self.control {
+                let mut tables = NodeTables { lfib: &mut self.lfib, vrfs: None };
+                db.borrow_mut().on_control_packet(self.topo_id, _iface.0, &pkt, &mut tables, ctx);
+                return;
+            }
+        }
         if pkt.top_label().is_none() {
             return self.forward_ip(pkt, ctx);
         }
@@ -193,11 +215,15 @@ impl Node for CoreRouter {
         }
     }
 
-    fn on_timer(&mut self, token: u64, _ctx: &mut Ctx) {
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
         // BFD-style link-state notification: flip the interface's
         // protection state at detection time, not at failure time.
         if let Some((iface, down)) = decode_iface_token(token) {
             self.lfib.set_iface_down(iface, down);
+            if let Some(db) = &self.control {
+                let mut tables = NodeTables { lfib: &mut self.lfib, vrfs: None };
+                db.borrow_mut().on_link_event(self.topo_id, iface, down, &mut tables, ctx);
+            }
         }
     }
 
@@ -300,6 +326,11 @@ pub struct PeRouter {
     pub trace: Option<TraceLog>,
     /// Optional drop-cause flight recorder (shared with the network's).
     pub recorder: Option<FlightRecorder>,
+    /// In-band control plane, if the network runs `ControlMode::InBand`.
+    control: Option<ControlHandle>,
+    /// This router's backbone topology node id (only meaningful when
+    /// `control` is set).
+    topo_id: usize,
 }
 
 impl PeRouter {
@@ -317,7 +348,16 @@ impl PeRouter {
             counters: RouterCounters::default(),
             trace: None,
             recorder: None,
+            control: None,
+            topo_id: usize::MAX,
         }
+    }
+
+    /// Attaches the shared in-band control database. `topo_id` is this
+    /// router's node id in the backbone topology.
+    pub(crate) fn set_control(&mut self, db: ControlHandle, topo_id: usize) {
+        self.control = Some(db);
+        self.topo_id = topo_id;
     }
 
     /// Attaches a trace log.
@@ -580,6 +620,13 @@ impl PeRouter {
 
 impl Node for PeRouter {
     fn on_packet(&mut self, iface: IfaceId, pkt: Pkt, ctx: &mut Ctx) {
+        if pkt.meta.flow >= CTRL_FLOW_BASE {
+            if let Some(db) = &self.control {
+                let mut tables = NodeTables { lfib: &mut self.lfib, vrfs: Some(&mut self.vrfs) };
+                db.borrow_mut().on_control_packet(self.topo_id, iface.0, &pkt, &mut tables, ctx);
+                return;
+            }
+        }
         match self.iface_roles.get(iface.0).copied() {
             Some(PeIfaceRole::Customer { vrf }) => self.handle_customer(iface.0, vrf, pkt, ctx),
             Some(PeIfaceRole::Core) => self.handle_core(pkt, ctx),
@@ -590,11 +637,15 @@ impl Node for PeRouter {
         }
     }
 
-    fn on_timer(&mut self, token: u64, _ctx: &mut Ctx) {
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
         // BFD-style link-state notification: flip the interface's
         // protection state at detection time, not at failure time.
         if let Some((iface, down)) = decode_iface_token(token) {
             self.lfib.set_iface_down(iface, down);
+            if let Some(db) = &self.control {
+                let mut tables = NodeTables { lfib: &mut self.lfib, vrfs: Some(&mut self.vrfs) };
+                db.borrow_mut().on_link_event(self.topo_id, iface, down, &mut tables, ctx);
+            }
         }
     }
 

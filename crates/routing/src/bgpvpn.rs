@@ -359,6 +359,61 @@ impl BgpVpnFabric {
         imported
     }
 
+    /// Re-applies `vrf`'s *current* import policy to its table: routes no
+    /// longer covered by any import target are removed, newly importable
+    /// RIB routes are added (best-path among candidates). This is the
+    /// RT-policy delta path — a local Adj-RIB-In re-evaluation that costs
+    /// zero update messages in either distribution mode, unlike
+    /// [`BgpVpnFabric::refresh_vrf`] which only ever adds. Returns the
+    /// `(added, removed)` prefix deltas with their routes, so a caller
+    /// maintaining a data-plane mirror can apply exactly the change.
+    #[allow(clippy::type_complexity)]
+    pub fn refilter_vrf(
+        &mut self,
+        vrf: VrfHandle,
+    ) -> (Vec<(Prefix, RemoteRoute)>, Vec<(Prefix, RemoteRoute)>) {
+        // Desired state: best importable advertisement per prefix.
+        let mut desired: Vec<(Prefix, RemoteRoute)> = Vec::new();
+        {
+            let v = &self.pes[vrf.pe].vrfs[vrf.index];
+            for ad in &self.rib {
+                if ad.egress_pe == vrf.pe {
+                    continue;
+                }
+                if !v.import.iter().any(|t| ad.export_targets.contains(t)) {
+                    continue;
+                }
+                let cand =
+                    RemoteRoute { egress_pe: ad.egress_pe, vpn_label: ad.vpn_label, rd: ad.rd };
+                match desired.iter_mut().find(|(p, _)| *p == ad.prefix) {
+                    Some((_, existing)) if !Self::better(&cand, existing) => {}
+                    Some((_, existing)) => *existing = cand,
+                    None => desired.push((ad.prefix, cand)),
+                }
+            }
+        }
+        let v = &mut self.pes[vrf.pe].vrfs[vrf.index];
+        let current: Vec<(Prefix, RemoteRoute)> = v.table.iter().map(|(p, r)| (p, *r)).collect();
+        let mut removed = Vec::new();
+        for (p, r) in &current {
+            if !desired.iter().any(|(dp, _)| dp == p) {
+                v.table.remove(*p);
+                removed.push((*p, *r));
+            }
+        }
+        let mut added = Vec::new();
+        for (p, r) in desired {
+            match v.table.get(p) {
+                Some(existing) if !Self::better(&r, existing) => {}
+                _ => {
+                    v.table.insert(p, r);
+                    added.push((p, r));
+                }
+            }
+        }
+        (added, removed)
+    }
+
     /// The imported remote-route table of a VRF.
     pub fn routes(&self, vrf: VrfHandle) -> &LpmTrie<RemoteRoute> {
         &self.pes[vrf.pe].vrfs[vrf.index].table
@@ -558,6 +613,41 @@ mod tests {
         };
         assert_eq!(order_a, order_b);
         assert_eq!(order_a, 1);
+    }
+
+    /// Re-filtering after an RT change removes now-unimportable routes and
+    /// pulls newly importable ones — and reports exactly the delta.
+    #[test]
+    fn refilter_applies_import_policy_deltas() {
+        let mut f = BgpVpnFabric::new(3, DistributionMode::RouteReflector);
+        let a0 = f.add_vrf(0, rd(1), vec![RT_A], vec![RT_A]);
+        let a1 = f.add_vrf(1, rd(1), vec![RT_A], vec![RT_A]);
+        let b2 = f.add_vrf(2, rd(2), vec![RT_B], vec![RT_B]);
+        f.advertise(a1, pfx("10.1.0.0/16"));
+        f.advertise(b2, pfx("10.9.0.0/16"));
+        assert_eq!(f.routes(a0).len(), 1);
+
+        // Import RT_B too: the refilter pulls b2's route without messages.
+        let before = f.messages();
+        f.add_import_target(a0, RT_B);
+        let (added, removed) = f.refilter_vrf(a0);
+        assert_eq!(f.messages(), before, "RT policy is local, not an update");
+        assert_eq!(added.len(), 1);
+        assert_eq!(added[0].0, pfx("10.9.0.0/16"));
+        assert!(removed.is_empty());
+        assert_eq!(f.routes(a0).len(), 2);
+
+        // Drop RT_A: its route leaves and the delta says so.
+        f.remove_import_target(a0, RT_A);
+        let (added, removed) = f.refilter_vrf(a0);
+        assert!(added.is_empty());
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].0, pfx("10.1.0.0/16"));
+        assert_eq!(f.routes(a0).len(), 1);
+
+        // Idempotent once settled.
+        let (added, removed) = f.refilter_vrf(a0);
+        assert!(added.is_empty() && removed.is_empty());
     }
 
     #[test]

@@ -30,6 +30,28 @@ impl SpfTree {
     pub fn reachable(&self, dst: usize) -> bool {
         self.dist[dst] != u64::MAX
     }
+
+    /// Incremental-SPF admission test: could the state change of `link`
+    /// (`down` = failure, otherwise repair) alter this tree? A link
+    /// failure matters only if the link lay on *some* shortest path from
+    /// the root — i.e. it is tight in one direction
+    /// (`dist[a] + cost == dist[b]` or vice versa). A repair matters only
+    /// if the restored link offers a path at least as good as what either
+    /// endpoint already has (`dist[a] + cost <= dist[b]` or vice versa;
+    /// equality included so equal-cost sets regain their ECMP members).
+    /// When the test returns false the tree is provably unaffected and
+    /// the full Dijkstra rerun can be skipped.
+    pub fn affected_by(&self, topo: &Topology, link: usize, down: bool) -> bool {
+        let (a, b, attrs) = topo.link(link);
+        let (da, db) = (self.dist[a], self.dist[b]);
+        if down {
+            (da != u64::MAX && da.saturating_add(attrs.cost) == db)
+                || (db != u64::MAX && db.saturating_add(attrs.cost) == da)
+        } else {
+            (da != u64::MAX && da.saturating_add(attrs.cost) <= db)
+                || (db != u64::MAX && db.saturating_add(attrs.cost) <= da)
+        }
+    }
 }
 
 /// The link-state IGP over a topology: per-node SPF trees plus an LSA
@@ -231,6 +253,43 @@ mod tests {
         let igp = Igp::converge(&t);
         // 10 LSAs × 2 × 10 links.
         assert_eq!(igp.lsa_messages(), 200);
+    }
+
+    #[test]
+    fn affected_by_skips_irrelevant_links() {
+        // diamond: links 0:(0-1,c1) 1:(1-3,c1) 2:(0-2,c1) 3:(2-3,c5).
+        let t = diamond();
+        let tree = spf(&t, 0);
+        // The shortest path 0→3 runs over links 0 and 1: cutting either
+        // affects the tree.
+        assert!(tree.affected_by(&t, 0, true));
+        assert!(tree.affected_by(&t, 1, true));
+        // Link 3 (2-3, cost 5) is on no shortest path from 0: dist[2]=1,
+        // dist[3]=2, 1+5 != 2 — a failure there cannot change the tree.
+        assert!(!tree.affected_by(&t, 3, true));
+
+        // After cutting link 1 the detour is in use; repairing link 1
+        // (offering 0→3 at cost 2 < 6) affects the tree, while
+        // "repairing" the already-loose link 3 at its current cost does:
+        // dist[2]=1, 1+5=6 == dist[3]=6 → equality recomputes (ECMP).
+        let cut = spf_filtered(&t, 0, &|l| l != 1);
+        assert_eq!(cut.dist[3], 6);
+        assert!(cut.affected_by(&t, 1, false));
+        assert!(cut.affected_by(&t, 3, false));
+    }
+
+    #[test]
+    fn affected_by_handles_unreachable_endpoints() {
+        let mut t = Topology::new(3);
+        t.add_link(0, 1, attrs(1)); // link 0
+        t.add_link(1, 2, attrs(1)); // link 1
+                                    // Tree computed with link 1 dead: node 2 unreachable.
+        let tree = spf_filtered(&t, 0, &|l| l != 1);
+        assert!(!tree.reachable(2));
+        // Failing the already-unusable far link cannot affect the tree…
+        assert!(!tree.affected_by(&t, 1, true));
+        // …but repairing it (reaching node 2 at all) must.
+        assert!(tree.affected_by(&t, 1, false));
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! Both failover modes are exercised: even seeds run fast reroute (no
 //! reconvergence, bypass LSPs), odd seeds run global reconvergence after
 //! every fault event.
+//!
+//! Both *control* modes run too: the default is the oracle; setting
+//! `CHAOS_CONTROL_MODE=inband` rebuilds every scenario with the in-band
+//! message-driven control plane, whose CS6 packets share links and
+//! queues with the data — the conservation ledger then carries explicit
+//! control-plane send/terminate terms.
 
 use mplsvpn::routing::{LinkAttrs, Topology};
 use mplsvpn::sim::{
@@ -22,8 +28,17 @@ use mplsvpn::sim::{
 };
 use mplsvpn::te::SrlgMap;
 use mplsvpn::vpn::{
-    BackboneBuilder, CeRouter, CoreRouter, FailoverMode, PeRouter, ProviderNetwork,
+    BackboneBuilder, CeRouter, ControlMode, CoreRouter, FailoverMode, PeRouter, ProviderNetwork,
 };
+
+/// The control mode under test: `CHAOS_CONTROL_MODE=inband` opts in to
+/// the message-driven control plane; anything else runs the oracle.
+fn control_mode() -> ControlMode {
+    match std::env::var("CHAOS_CONTROL_MODE") {
+        Ok(v) if v.eq_ignore_ascii_case("inband") => ControlMode::InBand,
+        _ => ControlMode::Oracle,
+    }
+}
 
 /// Sources stop emitting here…
 const TRAFFIC_END: u64 = 4 * SEC;
@@ -72,7 +87,10 @@ fn run_scenario(seed: u64) -> Scenario {
         FailoverMode::GlobalReconverge
     };
     let link_count = topo.link_count();
-    let mut pn = BackboneBuilder::new(topo, pes.clone()).detection(25 * MSEC).build();
+    let mut pn = BackboneBuilder::new(topo, pes.clone())
+        .detection(25 * MSEC)
+        .control_mode(control_mode())
+        .build();
 
     // Two VPNs with the *same* address plan: the harshest isolation test.
     let mut sinks = Vec::new();
@@ -151,12 +169,19 @@ fn chaos_packet_conservation_holds_under_any_failure_order() {
             .sum();
         let queued = s.pn.net.queued_packets();
         let (router_dropped, delivered_local) = router_terminations(&mut s);
+        // In-band control packets enter the same ledger: each one sent is
+        // terminated at a router, purged on a cut link (already inside
+        // `link_dropped`), or still queued. Both terms are 0 under the
+        // oracle, collapsing to the original data-only equation.
+        let (ctrl_sent, ctrl_terminated) =
+            s.pn.control_stats().map_or((0, 0), |c| (c.pkts_sent, c.pkts_terminated));
         assert_eq!(
-            sent,
-            delivered + link_dropped + router_dropped + delivered_local + queued,
-            "conservation broke at seed {seed}: sent={sent} delivered={delivered} \
-             link_dropped={link_dropped} router_dropped={router_dropped} \
-             local={delivered_local} queued={queued}"
+            sent + ctrl_sent,
+            delivered + link_dropped + router_dropped + delivered_local + ctrl_terminated + queued,
+            "conservation broke at seed {seed}: sent={sent} ctrl_sent={ctrl_sent} \
+             delivered={delivered} link_dropped={link_dropped} \
+             router_dropped={router_dropped} local={delivered_local} \
+             ctrl_terminated={ctrl_terminated} queued={queued}"
         );
         assert!(sent > 0, "seed {seed} generated no traffic");
         assert!(delivered > 0, "seed {seed} delivered nothing — network dead");
